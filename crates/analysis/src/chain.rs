@@ -1,0 +1,127 @@
+//! Deterministic model of loss recovery in a chain (Section IV-A, Fig 1).
+//!
+//! With `C1 = D1 = 1` and `C2 = D2 = 0` the timers are deterministic:
+//! a node at distance `i` hops below the congested link detects the loss at
+//! some time `t + i` (relative to the first detector), sets its request
+//! timer to `2·(dist to source)`, and is always suppressed by the request
+//! from the node adjacent to the failure — *deterministic suppression*.
+//!
+//! Let the source be `s` hops above the congested link `(R1, L1)`, and let
+//! `L1` (the node just below the failure) detect the loss at time 0. Then:
+//!
+//! - `L1` multicasts the *only* request at time `2·(s+1)`... in the paper's
+//!   normalization ("node L1 first detects the loss at time t; node L1
+//!   multicasts a request at time t + 2(s+1)" — with the source at distance
+//!   `s+1` from `L1`);
+//! - `R1` (just above the failure) receives it one hop later and answers at
+//!   `t + 2(s+1) + 1 + 2·1` (its repair timer is `2·d(R1,L1) = 2`);
+//! - a node `i` hops below the failure receives the repair at
+//!   `t + 2(s+1) + 3 + i` while it detected the loss at `t + (i−1)`, so its
+//!   recovery is faster, relative to its own RTT to the source, the farther
+//!   down it sits.
+
+/// Time (after `L1`'s detection) at which the single request is sent, for a
+/// source `s_hops` above the congested link: `C1 · d(source, L1)` with
+/// `d = s_hops + 1`.
+pub fn request_time(c1: f64, s_hops: u32) -> f64 {
+    c1 * (s_hops as f64 + 1.0)
+}
+
+/// Time at which the repair from `R1` is multicast: the request crosses the
+/// failed link (1 hop), then `R1` waits `D1 · d(R1, L1) = D1 · 1`.
+pub fn repair_time(c1: f64, d1: f64, s_hops: u32) -> f64 {
+    request_time(c1, s_hops) + 1.0 + d1
+}
+
+/// Time at which the node `i` hops below the congested link receives the
+/// repair (node 1 = `L1`).
+pub fn repair_arrival(c1: f64, d1: f64, s_hops: u32, i: u32) -> f64 {
+    repair_time(c1, d1, s_hops) + i as f64
+}
+
+/// Detection time of the node `i ≥ 1` hops below the congested link,
+/// relative to `L1`'s detection: the follow-up packet reaches it `i − 1`
+/// hops after reaching `L1`.
+pub fn detection_time(i: u32) -> f64 {
+    (i - 1) as f64
+}
+
+/// Loss-recovery delay of node `i` hops below the failure.
+pub fn recovery_delay(c1: f64, d1: f64, s_hops: u32, i: u32) -> f64 {
+    repair_arrival(c1, d1, s_hops, i) - detection_time(i)
+}
+
+/// The unicast comparison from Section IV-A: node `i` sends a unicast
+/// request to the source the moment it detects the failure and the source
+/// answers immediately; the delay is one RTT to the source.
+pub fn unicast_recovery_delay(s_hops: u32, i: u32) -> f64 {
+    2.0 * (s_hops as f64 + i as f64)
+}
+
+/// Recovery delay over the node's own RTT to the source — the figure-of-
+/// merit the paper uses ("with multicast loss recovery algorithms the ratio
+/// of delay to RTT can be less than one").
+pub fn recovery_delay_over_rtt(c1: f64, d1: f64, s_hops: u32, i: u32) -> f64 {
+    recovery_delay(c1, d1, s_hops, i) / (2.0 * (s_hops as f64 + i as f64))
+}
+
+/// Expected number of requests on a chain as a function of `c2` — for the
+/// chain the deterministic component dominates; duplicates only arise when
+/// randomization puts a farther node's timer before the suppression wave
+/// arrives. With `c2 = 0` there is exactly one request (Section VI: "with a
+/// chain topology, setting C2 to zero gives the optimal behavior both in
+/// terms of delay and in the number of duplicates").
+pub fn expected_requests_c2_zero() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timeline_source_adjacent() {
+        // Source directly above the failure (s = 0): request at 2, repair
+        // at 2+1+1 = 4 with C1 = D1 = 1... the paper's Section IV-A walks
+        // the case with distances: request at C1·d, repair C1·d + 1 + D1.
+        assert_eq!(request_time(1.0, 0), 1.0);
+        assert_eq!(repair_time(1.0, 1.0, 0), 3.0);
+        assert_eq!(repair_arrival(1.0, 1.0, 0, 1), 4.0);
+    }
+
+    #[test]
+    fn farther_nodes_recover_at_smaller_rtt_multiples() {
+        // The key qualitative claim: deep nodes beat their own unicast RTT.
+        let c1 = 1.0;
+        let d1 = 1.0;
+        let s = 1;
+        let near = recovery_delay_over_rtt(c1, d1, s, 1);
+        let far = recovery_delay_over_rtt(c1, d1, s, 20);
+        assert!(far < near);
+        assert!(far < 1.0, "far node beats its unicast RTT: {far}");
+    }
+
+    #[test]
+    fn multicast_beats_unicast_for_far_nodes() {
+        // "the furthest node receives the repair sooner than it would if it
+        // had to rely on its own unicast communication with the original
+        // source."
+        let s = 2;
+        for i in [5u32, 10, 50] {
+            let m = recovery_delay(1.0, 1.0, s, i);
+            let u = unicast_recovery_delay(s, i);
+            assert!(m < u, "i={i}: multicast {m} vs unicast {u}");
+        }
+    }
+
+    #[test]
+    fn detection_is_staggered_by_hops() {
+        assert_eq!(detection_time(1), 0.0);
+        assert_eq!(detection_time(4), 3.0);
+    }
+
+    #[test]
+    fn single_request_with_deterministic_timers() {
+        assert_eq!(expected_requests_c2_zero(), 1.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # srm-analysis — closed-form models from the SRM paper
+//!
+//! Sections IV and VI of the paper analyze the request/repair algorithms on
+//! three canonical topologies before turning to simulation. This crate
+//! reproduces those models:
+//!
+//! - [`chain`]: deterministic suppression — timers as a pure function of
+//!   distance give exactly one request and one repair (Fig 1, Section IV-A);
+//! - [`star`]: probabilistic suppression — expected request counts and
+//!   delays for simultaneous detectors (Fig 2, Section IV-B, and the
+//!   analysis curve of Fig 5);
+//! - [`tree`]: the level-suppression inequality `C1·i ≥ C2·dS` bounding
+//!   which levels can emit duplicates (Section IV-C).
+//!
+//! The experiment harness overlays these curves on the simulation results,
+//! as the paper does in Fig 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod dist;
+pub mod star;
+pub mod tree;

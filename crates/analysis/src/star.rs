@@ -1,0 +1,108 @@
+//! Closed-form model of loss recovery in a star (Section IV-B and the
+//! analysis curves of Fig 5).
+//!
+//! A star of `G` session members hangs off a non-member hub; every link has
+//! unit delay, so every member is distance 2 from every other. When a
+//! packet from one member is dropped on its own access link, the other
+//! `G − 1` members detect the loss simultaneously and rely purely on
+//! *probabilistic* suppression: with `D1 = D2 = 0` (no distance diversity
+//! to exploit), request timers are drawn uniformly from an interval of
+//! width `2·C2` (footnote 2). If the first timer fires at `t`, the other
+//! `G − 2` members are only suppressed if their timers fall after `t + 2`
+//! (one hub round trip), so:
+//!
+//! - `E[#requests] ≈ 1 + (G − 2)·2 / (2·C2) = 1 + (G − 2)/C2`
+//! - `E[delay until first request] = C1·d + 2·C2·d/G` with `d = 2`
+//!   (minimum of `G − 1` uniforms on a width-`2·C2·…` interval).
+
+/// Distance (in link delays) between any two members of the star.
+pub const STAR_DIST: f64 = 2.0;
+
+/// Expected number of requests for one loss in a `g`-member star with
+/// request parameters `c1` (unused by the count) and `c2`.
+///
+/// For `c2 = 0` every non-source member requests: `g − 1`.
+pub fn expected_requests(g: usize, c2: f64) -> f64 {
+    let g = g as f64;
+    if c2 <= 0.0 {
+        return g - 1.0;
+    }
+    // 1 + expected number of the remaining G−2 timers landing within the
+    // suppression-blind window of 2 time units after the first.
+    (1.0 + (g - 2.0) / c2).min(g - 1.0)
+}
+
+/// Expected delay until the first request timer fires, in seconds
+/// (`d = 2` link delays): `C1·d + width/G` where `width = C2·d`.
+///
+/// The minimum of `G−1` i.i.d. uniforms on `[0, w]` has mean `w / G`.
+pub fn expected_first_request_delay(g: usize, c1: f64, c2: f64) -> f64 {
+    let g = g as f64;
+    c1 * STAR_DIST + (c2 * STAR_DIST) / g
+}
+
+/// The same delay expressed in units of a member's RTT to the source
+/// (RTT = 2·d = 4), the y-axis normalization of Fig 5.
+pub fn expected_request_delay_over_rtt(g: usize, c1: f64, c2: f64) -> f64 {
+    expected_first_request_delay(g, c1, c2) / (2.0 * STAR_DIST)
+}
+
+/// One (delay/RTT, E[#requests]) point of Fig 5's analysis curve.
+pub fn fig5_point(g: usize, c1: f64, c2: f64) -> (f64, f64) {
+    (
+        expected_request_delay_over_rtt(g, c1, c2),
+        expected_requests(g, c2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2_zero_means_everyone_requests() {
+        assert_eq!(expected_requests(100, 0.0), 99.0);
+    }
+
+    #[test]
+    fn paper_examples() {
+        // "If C2 is at most 1, then there will always be ≈ G−1 requests"
+        assert!(expected_requests(100, 1.0) >= 99.0);
+        // "if C2 is set to sqrt(G), then the expected number of requests is
+        // roughly sqrt(G)": for G = 100, 1 + 98/10 = 10.8 ≈ 10.
+        let e = expected_requests(100, 10.0);
+        assert!((e - 10.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requests_decrease_with_c2() {
+        let mut prev = f64::MAX;
+        for c2 in [1.0, 2.0, 5.0, 10.0, 50.0, 100.0] {
+            let e = expected_requests(100, c2);
+            assert!(e <= prev);
+            prev = e;
+        }
+        // Large C2 approaches a single request.
+        assert!(expected_requests(100, 1000.0) < 1.1);
+    }
+
+    #[test]
+    fn delay_grows_linearly_with_c2() {
+        let d0 = expected_first_request_delay(100, 2.0, 0.0);
+        assert_eq!(d0, 4.0); // C1·d
+        let d100 = expected_first_request_delay(100, 2.0, 100.0);
+        assert_eq!(d100, 4.0 + 200.0 / 100.0);
+    }
+
+    #[test]
+    fn rtt_normalization() {
+        // With C1 = 2 and C2 = 0 the normalized delay is exactly 1 — the
+        // "minimum request delay of 1 comes from the fixed value of 2 for
+        // request parameter C1" (Section VI).
+        assert_eq!(expected_request_delay_over_rtt(100, 2.0, 0.0), 1.0);
+        // Fig 5's quoted point: C2 = 100 → delay ≈ 1.5 RTT, requests ≈ 1.5ish.
+        let (delay, reqs) = fig5_point(100, 2.0, 100.0);
+        assert!((delay - 1.5).abs() < 1e-9);
+        assert!(reqs < 2.1);
+    }
+}

@@ -1,0 +1,87 @@
+//! The level-suppression inequality for trees (Section IV-C).
+//!
+//! Nodes below the congested link are classified by their hop distance from
+//! the first detector: node `A` adjacent to the failure is *level 0*, a bad
+//! node at distance `i` from `A` is *level i*. With the source at distance
+//! `dS` above `A` (so a level-`i` node is at distance `dS + i` from the
+//! source):
+//!
+//! - a level-`i` node receives A's request no later than
+//!   `i + (C1 + C2)·dS` after A detects the loss (A's timer is at worst the
+//!   top of its interval, plus `i` hops of propagation), and detects the
+//!   loss itself at time `i`, arming a timer that fires no earlier than
+//!   `i + C1·(dS + i)`;
+//! - so the level-`i` timer is *always* suppressed when
+//!   `i + C1·(dS + i) ≥ i + (C1 + C2)·dS`, i.e. **`C1·i ≥ C2·dS`**.
+//!
+//! "Thus, the smaller the ratio C2/C1, the fewer the number of levels that
+//! could be involved in duplicate requests", and duplicates shrink when the
+//! source (or first requestor) is close to the congested link.
+
+/// The smallest level that is *guaranteed* suppressed by the level-0
+/// request: levels `i ≥ ceil(C2·dS / C1)` can never issue a duplicate.
+///
+/// Returns `None` when `c1 = 0` (no deterministic suppression at any depth).
+pub fn first_guaranteed_suppressed_level(c1: f64, c2: f64, ds: f64) -> Option<u32> {
+    if c1 <= 0.0 {
+        return None;
+    }
+    Some((c2 * ds / c1).ceil() as u32)
+}
+
+/// Whether a level-`i` node's request timer is guaranteed suppressed.
+pub fn level_always_suppressed(c1: f64, c2: f64, ds: f64, i: u32) -> bool {
+    c1 * i as f64 >= c2 * ds
+}
+
+/// Upper bound on the number of levels that can produce duplicate requests
+/// for a tree of height `height` below the failure.
+pub fn duplicate_exposed_levels(c1: f64, c2: f64, ds: f64, height: u32) -> u32 {
+    match first_guaranteed_suppressed_level(c1, c2, ds) {
+        None => height + 1,
+        Some(l) => l.min(height + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inequality_matches_paper_form() {
+        // C1·i ≥ C2·dS ⇔ suppressed.
+        assert!(level_always_suppressed(2.0, 1.0, 4.0, 2));
+        assert!(!level_always_suppressed(2.0, 1.0, 4.0, 1));
+    }
+
+    #[test]
+    fn smaller_c2_over_c1_suppresses_more_levels() {
+        let ds = 5.0;
+        let tight = first_guaranteed_suppressed_level(2.0, 1.0, ds).unwrap();
+        let loose = first_guaranteed_suppressed_level(1.0, 4.0, ds).unwrap();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn close_failure_means_fewer_duplicate_levels() {
+        // "the number of duplicate requests … is smaller when the source …
+        // is close to the congested link."
+        let near = duplicate_exposed_levels(2.0, 4.0, 1.0, 100);
+        let far = duplicate_exposed_levels(2.0, 4.0, 10.0, 100);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn zero_c1_never_guarantees_suppression() {
+        assert_eq!(first_guaranteed_suppressed_level(0.0, 1.0, 3.0), None);
+        assert_eq!(duplicate_exposed_levels(0.0, 1.0, 3.0, 7), 8);
+    }
+
+    #[test]
+    fn level_zero_never_suppressed_when_c2_positive() {
+        assert!(!level_always_suppressed(2.0, 0.5, 1.0, 0));
+        // But with C2 = 0 even level 0 is "suppressed" in the bound —
+        // i.e. deterministic timers allow exactly the one first request.
+        assert!(level_always_suppressed(2.0, 0.0, 1.0, 0));
+    }
+}

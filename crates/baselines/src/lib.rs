@@ -1,0 +1,28 @@
+//! # srm-baselines — what SRM is measured against
+//!
+//! Section II-A of the paper motivates receiver-driven multicast repair by
+//! walking through the failure modes of the obvious alternatives. This
+//! crate implements those alternatives so the comparison can be *measured*
+//! rather than asserted:
+//!
+//! - [`ack`]: the sender-based, TCP-style protocol — per-receiver state at
+//!   the sender, one unicast ACK per receiver per packet (the "ACK
+//!   implosion"), unicast retransmissions on timeout;
+//! - [`nack`]: the receiver-based *unicast*-NACK protocol of the
+//!   La Porta/Schwartz comparison in Section VI \[29\] — gap-triggered NACKs
+//!   unicast to the source with no suppression, so a shared loss draws
+//!   G−1 NACKs and G−1 unicast retransmissions.
+//!
+//! The `srm-experiments` harness (`baseline-compare`) runs these head to
+//! head with SRM on the same topologies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ack;
+pub mod nack;
+pub mod wire;
+
+pub use ack::{AckApp, AckReceiver, AckSender};
+pub use nack::{NackApp, NackReceiver, NackSender};
+pub use wire::BaselineMsg;

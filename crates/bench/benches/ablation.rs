@@ -1,0 +1,145 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Wall time of a loss-recovery round is a direct proxy for the traffic it
+//! generates (the simulator's cost is per event), so these expose how each
+//! mechanism changes the protocol's work:
+//!
+//! - distance-scaled timers vs no scaling (`C1·d` vs fixed intervals);
+//! - suppression randomization width (`C2 = 0` vs `√G` vs large);
+//! - backoff ×2 vs ×3 (the Section VII-A retransmit race);
+//! - adaptive vs fixed parameters;
+//! - global vs TTL-scoped recovery;
+//! - repair hold-down on vs off (hold_down = 0 disables it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srm_experiments::round::run_round;
+use srm_experiments::scenario::{DropSpec, ScenarioSpec, TopoSpec};
+use srm::config::FixedIntervals;
+use srm::{RecoveryScope, SrmConfig, TimerParams};
+use std::hint::black_box;
+
+fn spec_with(cfg: SrmConfig) -> ScenarioSpec {
+    ScenarioSpec {
+        topo: TopoSpec::BoundedTree { n: 500, degree: 4 },
+        group_size: Some(40),
+        drop: DropSpec::RandomTreeLink,
+        cfg,
+        seed: 0xab1a,
+        timer_seed: None,
+    }
+}
+
+fn ablate_timer_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/timer_scaling");
+    let mut scaled = spec_with(SrmConfig::fixed(40)).build();
+    g.bench_function("distance_scaled", |b| {
+        b.iter(|| black_box(run_round(&mut scaled, 100_000.0).requests))
+    });
+    let mut fixed = spec_with(SrmConfig {
+        fixed_intervals: Some(FixedIntervals::wb159()),
+        ..SrmConfig::default()
+    })
+    .build();
+    g.bench_function("wb159_fixed_intervals", |b| {
+        b.iter(|| black_box(run_round(&mut fixed, 100_000.0).requests))
+    });
+    g.finish();
+}
+
+fn ablate_c2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/randomization_width");
+    for c2 in [0.0, 6.32, 40.0] {
+        let cfg = SrmConfig {
+            timers: TimerParams {
+                c1: 2.0,
+                c2,
+                d1: 2.0,
+                d2: 6.32,
+            },
+            ..SrmConfig::default()
+        };
+        let mut s = spec_with(cfg).build();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("c2_{c2}")), &c2, |b, _| {
+            b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_backoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/backoff");
+    for m in [2.0f64, 3.0] {
+        let cfg = SrmConfig {
+            backoff: m,
+            ..SrmConfig::fixed(40)
+        };
+        let mut s = spec_with(cfg).build();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("x{m}")), &m, |b, _| {
+            b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_adaptive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/adaptation");
+    let mut fixed = spec_with(SrmConfig::fixed(40)).build();
+    g.bench_function("fixed_params", |b| {
+        b.iter(|| black_box(run_round(&mut fixed, 100_000.0).requests))
+    });
+    let mut adaptive = spec_with(SrmConfig::adaptive(40)).build();
+    // Pre-converge so the bench measures steady state.
+    for _ in 0..30 {
+        run_round(&mut adaptive, 100_000.0);
+    }
+    g.bench_function("adaptive_steady_state", |b| {
+        b.iter(|| black_box(run_round(&mut adaptive, 100_000.0).requests))
+    });
+    g.finish();
+}
+
+fn ablate_scope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/recovery_scope");
+    let mut global = spec_with(SrmConfig::fixed(40)).build();
+    g.bench_function("global", |b| {
+        b.iter(|| black_box(run_round(&mut global, 100_000.0).repairs))
+    });
+    let mut scoped = spec_with(SrmConfig {
+        scope: RecoveryScope::Ttl(16),
+        ..SrmConfig::fixed(40)
+    })
+    .build();
+    g.bench_function("ttl_scoped_16", |b| {
+        b.iter(|| black_box(run_round(&mut scoped, 100_000.0).repairs))
+    });
+    g.finish();
+}
+
+fn ablate_hold_down(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/repair_hold_down");
+    for hd in [0.0f64, 3.0] {
+        let cfg = SrmConfig {
+            hold_down: hd,
+            ..SrmConfig::fixed(40)
+        };
+        let mut s = spec_with(cfg).build();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("hold_down_{hd}")),
+            &hd,
+            |b, _| b.iter(|| black_box(run_round(&mut s, 100_000.0).repairs)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default().sample_size(20);
+    targets = ablate_timer_scaling,
+    ablate_c2,
+    ablate_backoff,
+    ablate_adaptive,
+    ablate_scope,
+    ablate_hold_down
+);
+criterion_main!(ablation);

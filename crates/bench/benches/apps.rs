@@ -1,0 +1,114 @@
+//! Application-layer benchmarks: wb's drawop codec and rasterizer, the
+//! baseline protocols, and the scenario runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::SimTime;
+use srm_sim::{run as run_scenario, Scenario};
+use std::hint::black_box;
+use wb::{render_page, Color, DrawOp, OpKind, PageCanvas, Point};
+
+fn wb_codec(c: &mut Criterion) {
+    let op = DrawOp {
+        timestamp: SimTime::from_secs(9),
+        kind: OpKind::Polyline {
+            points: (0..50)
+                .map(|i| Point {
+                    x: i,
+                    y: (i * 7) % 23,
+                })
+                .collect(),
+            color: Color::BLUE,
+        },
+    };
+    c.bench_function("apps/wb_drawop_encode_polyline50", |b| {
+        b.iter(|| black_box(op.encode().len()))
+    });
+    let enc = op.encode();
+    c.bench_function("apps/wb_drawop_decode_polyline50", |b| {
+        b.iter(|| black_box(DrawOp::decode(enc.clone()).unwrap()))
+    });
+}
+
+fn wb_raster(c: &mut Criterion) {
+    // A busy page: 100 mixed drawops.
+    let mut canvas = PageCanvas::default();
+    for i in 0..100u64 {
+        let kind = match i % 3 {
+            0 => OpKind::Line {
+                from: Point {
+                    x: (i % 80) as i32,
+                    y: 0,
+                },
+                to: Point {
+                    x: 0,
+                    y: (i % 24) as i32,
+                },
+                color: Color::BLUE,
+            },
+            1 => OpKind::Circle {
+                center: Point {
+                    x: (i % 80) as i32,
+                    y: (i % 24) as i32,
+                },
+                radius: (i % 9) as u32,
+                color: Color::RED,
+            },
+            _ => OpKind::Text {
+                at: Point {
+                    x: (i % 60) as i32,
+                    y: (i % 24) as i32,
+                },
+                text: format!("op {i}"),
+                color: Color::BLACK,
+            },
+        };
+        canvas.apply(
+            srm::AduName::new(
+                srm::SourceId(1),
+                srm::PageId::new(srm::SourceId(1), 0),
+                srm::SeqNo(i),
+            ),
+            DrawOp {
+                timestamp: SimTime::from_secs(i),
+                kind,
+            },
+        );
+    }
+    c.bench_function("apps/wb_render_100_ops_80x24", |b| {
+        b.iter(|| black_box(render_page(&canvas, 80, 24).ink()))
+    });
+}
+
+fn baseline_rounds(c: &mut Criterion) {
+    c.bench_function("apps/baseline_ack_round_star60", |b| {
+        b.iter(|| black_box(srm_experiments::baseline_compare::ack_cost(60, 1).control_hops))
+    });
+    c.bench_function("apps/baseline_unicast_nack_round_star60", |b| {
+        b.iter(|| black_box(srm_experiments::baseline_compare::nack_cost(60, 1).control_hops))
+    });
+}
+
+fn scenario_runner(c: &mut Criterion) {
+    let sc = Scenario::from_json(
+        r#"{
+            "topology": {"kind": "bounded_tree", "n": 200, "degree": 4},
+            "seed": 5,
+            "members": {"random": 20},
+            "config": {"session_messages": false},
+            "loss": {"kind": "bernoulli", "p": 0.01},
+            "workload": {"adus": 10, "interval_secs": 5.0, "payload_bytes": 64},
+            "settle_secs": 100000
+        }"#,
+    )
+    .expect("valid scenario");
+    c.bench_function("apps/srm_sim_scenario_200node_10adus", |b| {
+        b.iter(|| black_box(run_scenario(&sc).unwrap().complete_receivers))
+    });
+}
+
+criterion_group!(
+    name = apps;
+    config = Criterion::default().sample_size(20);
+    targets = wb_codec, wb_raster, baseline_rounds, scenario_runner
+);
+criterion_main!(apps);

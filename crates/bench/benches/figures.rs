@@ -1,0 +1,152 @@
+//! One benchmark per reproduced figure: each measures the cost of the
+//! figure's unit of work (a loss-recovery round on that figure's scenario,
+//! or the figure's analytic evaluation), at reduced scale so `cargo bench`
+//! stays fast. The full-scale regeneration lives in the `srm-experiments`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use srm_experiments::round::run_round;
+use srm_experiments::scenario::{DropSpec, ScenarioSpec, TopoSpec};
+use srm_experiments::{fig15, fig4, RunOpts};
+use srm::{SrmConfig, TimerParams};
+use std::hint::black_box;
+
+fn fig3_round(c: &mut Criterion) {
+    let spec = ScenarioSpec {
+        topo: TopoSpec::RandomTree { n: 40 },
+        group_size: None,
+        drop: DropSpec::RandomTreeLink,
+        cfg: SrmConfig::fixed(40),
+        seed: 1,
+        timer_seed: None,
+    };
+    let mut s = spec.build();
+    c.bench_function("fig3/recovery_round_dense_random_tree_40", |b| {
+        b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+    });
+}
+
+fn fig4_round(c: &mut Criterion) {
+    let mut s = fig4::spec(50, 1, SrmConfig::fixed(50)).build();
+    c.bench_function("fig4/recovery_round_sparse_1000node_tree_g50", |b| {
+        b.iter(|| black_box(run_round(&mut s, 100_000.0).repairs))
+    });
+}
+
+fn fig5_round(c: &mut Criterion) {
+    let spec = ScenarioSpec {
+        topo: TopoSpec::Star { leaves: 100 },
+        group_size: None,
+        drop: DropSpec::AdjacentToSource,
+        cfg: SrmConfig {
+            timers: TimerParams {
+                c1: 2.0,
+                c2: 10.0,
+                d1: 1.0,
+                d2: 1.0,
+            },
+            ..SrmConfig::default()
+        },
+        seed: 5,
+        timer_seed: None,
+    };
+    let mut s = spec.build();
+    c.bench_function("fig5/recovery_round_star_100_c2_10", |b| {
+        b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+    });
+}
+
+fn fig6_round(c: &mut Criterion) {
+    let spec = ScenarioSpec {
+        topo: TopoSpec::Chain { n: 100 },
+        group_size: None,
+        drop: DropSpec::HopsFromSource(5),
+        cfg: SrmConfig {
+            timers: TimerParams {
+                c1: 2.0,
+                c2: 2.0,
+                d1: 1.0,
+                d2: 1.0,
+            },
+            ..SrmConfig::default()
+        },
+        seed: 6,
+        timer_seed: None,
+    };
+    let mut s = spec.build();
+    c.bench_function("fig6/recovery_round_chain_100", |b| {
+        b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+    });
+}
+
+fn fig7_fig8_rounds(c: &mut Criterion) {
+    // Dense tree (fig 7 regime).
+    let spec = ScenarioSpec {
+        topo: TopoSpec::RandomTree { n: 100 },
+        group_size: None,
+        drop: DropSpec::HopsFromSource(2),
+        cfg: SrmConfig::fixed(100),
+        seed: 7,
+        timer_seed: None,
+    };
+    let mut s = spec.build();
+    c.bench_function("fig7/recovery_round_dense_tree_100", |b| {
+        b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+    });
+    // Sparse tree (fig 8 regime).
+    let spec = ScenarioSpec {
+        topo: TopoSpec::BoundedTree { n: 1000, degree: 4 },
+        group_size: Some(100),
+        drop: DropSpec::HopsFromSource(2),
+        cfg: SrmConfig::fixed(100),
+        seed: 8,
+        timer_seed: None,
+    };
+    let mut s = spec.build();
+    c.bench_function("fig8/recovery_round_sparse_tree_1000_g100", |b| {
+        b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+    });
+}
+
+fn fig12_13_rounds(c: &mut Criterion) {
+    let mut fixed = fig4::spec(50, 3, SrmConfig::fixed(50)).build();
+    c.bench_function("fig12/nonadaptive_round", |b| {
+        b.iter(|| black_box(run_round(&mut fixed, 100_000.0).requests))
+    });
+    let mut adaptive = fig4::spec(50, 3, SrmConfig::adaptive(50)).build();
+    c.bench_function("fig13/adaptive_round", |b| {
+        b.iter(|| black_box(run_round(&mut adaptive, 100_000.0).requests))
+    });
+}
+
+fn fig14_round(c: &mut Criterion) {
+    let mut s = fig4::spec(100, 2, SrmConfig::adaptive(100)).build();
+    c.bench_function("fig14/adaptive_round_g100", |b| {
+        b.iter(|| black_box(run_round(&mut s, 100_000.0).requests))
+    });
+}
+
+fn fig15_eval(c: &mut Criterion) {
+    // The figure's unit of work is the exact TTL-reachability evaluation.
+    let opts = RunOpts {
+        quick: true,
+        threads: 1,
+    };
+    c.bench_function("fig15/ttl_reach_evaluation_quick", |b| {
+        b.iter(|| black_box(fig15::samples(&opts).len()))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = fig3_round,
+    fig4_round,
+    fig5_round,
+    fig6_round,
+    fig7_fig8_rounds,
+    fig12_13_rounds,
+    fig14_round,
+    fig15_eval
+);
+criterion_main!(figures);

@@ -1,0 +1,143 @@
+//! Microbenchmarks of the substrates: event queue, routing, topology
+//! generation, wire codecs, and the rate limiter.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::event::{EventKind, EventQueue, TimerId};
+use netsim::generators::{bounded_degree_tree, random_labeled_tree};
+use netsim::routing::SpTree;
+use netsim::{GroupId, NodeId, SendOptions, SimTime, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srm::config::RateLimit;
+use srm::rate::TokenBucket;
+use srm::wire::{Body, DataBody, Header, Message, RequestBody};
+use srm::{AduName, PageId, SeqNo, SourceId};
+use std::hint::black_box;
+
+fn event_queue_throughput(c: &mut Criterion) {
+    c.bench_function("substrate/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(
+                    SimTime::from_secs((i * 7919) % 10_000),
+                    EventKind::Timer {
+                        node: NodeId(0),
+                        id: TimerId(i),
+                        token: i,
+                    },
+                );
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn spt_computation(c: &mut Criterion) {
+    let topo = bounded_degree_tree(1000, 4);
+    c.bench_function("substrate/spt_compute_1000node_tree", |b| {
+        b.iter(|| black_box(SpTree::compute(&topo, NodeId(500)).distance(NodeId(999))))
+    });
+}
+
+fn prufer_generation(c: &mut Criterion) {
+    c.bench_function("substrate/random_labeled_tree_1000", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(random_labeled_tree(1000, &mut rng).num_links()))
+    });
+}
+
+fn multicast_flood(c: &mut Criterion) {
+    // One packet from the root of a 1000-node tree to 200 member leaves.
+    struct Sink;
+    impl netsim::Application for Sink {
+        fn on_packet(&mut self, _: &mut netsim::Ctx<'_>, _: &netsim::Packet) {}
+        fn on_timer(&mut self, _: &mut netsim::Ctx<'_>, _: u64) {}
+    }
+    let topo = bounded_degree_tree(1000, 4);
+    let g = GroupId(1);
+    let mut sim: Simulator<Sink> = Simulator::new(topo, 1);
+    for i in (0..1000u32).step_by(5) {
+        sim.install(NodeId(i), Sink);
+        sim.join(NodeId(i), g);
+    }
+    c.bench_function("substrate/multicast_flood_1000node_200members", |b| {
+        b.iter(|| {
+            sim.send_from(NodeId(0), g, Bytes::from_static(b"x"), SendOptions::default());
+            sim.run_until_idle(SimTime::MAX);
+            black_box(sim.stats.events)
+        })
+    });
+}
+
+fn wire_codec(c: &mut Criterion) {
+    let name = AduName::new(SourceId(7), PageId::new(SourceId(7), 3), SeqNo(99));
+    let data = Message {
+        header: Header {
+            sender: SourceId(7),
+            timestamp: SimTime::from_secs(100),
+        },
+        body: Body::Data(DataBody {
+            name,
+            is_repair: false,
+            answering: None,
+            dist_to_requestor: 0.0,
+            payload: Bytes::from(vec![0u8; 512]),
+        }),
+    };
+    c.bench_function("substrate/wire_encode_data_512B", |b| {
+        b.iter(|| black_box(data.encode().len()))
+    });
+    let enc = data.encode();
+    c.bench_function("substrate/wire_decode_data_512B", |b| {
+        b.iter(|| black_box(Message::decode(enc.clone()).unwrap()))
+    });
+    let req = Message {
+        header: Header {
+            sender: SourceId(7),
+            timestamp: SimTime::from_secs(100),
+        },
+        body: Body::Request(RequestBody {
+            name,
+            dist_to_source: 4.0,
+        }),
+    };
+    c.bench_function("substrate/wire_roundtrip_request", |b| {
+        b.iter(|| black_box(Message::decode(req.encode()).unwrap()))
+    });
+}
+
+fn token_bucket(c: &mut Criterion) {
+    c.bench_function("substrate/token_bucket_100k_ops", |b| {
+        b.iter(|| {
+            let mut tb = TokenBucket::new(RateLimit {
+                bytes_per_sec: 1e6,
+                burst_bytes: 1e4,
+            });
+            let mut sent = 0u64;
+            for i in 0..100_000u64 {
+                if tb.try_consume(SimTime::from_secs_f64(i as f64 * 1e-4), 100.0) {
+                    sent += 1;
+                }
+            }
+            black_box(sent)
+        })
+    });
+}
+
+criterion_group!(
+    name = substrate;
+    config = Criterion::default().sample_size(20);
+    targets = event_queue_throughput,
+    spt_computation,
+    prufer_generation,
+    multicast_flood,
+    wire_codec,
+    token_bucket
+);
+criterion_main!(substrate);

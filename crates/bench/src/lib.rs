@@ -1,0 +1,12 @@
+//! # srm-bench
+//!
+//! Criterion benchmark harness for the SRM reproduction. The crate has no
+//! library code of its own; see the `benches/` targets:
+//!
+//! - `figures`: one benchmark per reproduced paper figure (the unit of
+//!   work of each evaluation scenario);
+//! - `substrate`: microbenchmarks of the simulator and protocol substrates
+//!   (event queue, routing, Prüfer generation, wire codecs, token bucket);
+//! - `ablation`: the design-choice ablations DESIGN.md calls out (timer
+//!   scaling, randomization width, backoff factor, adaptation, recovery
+//!   scope, hold-down).

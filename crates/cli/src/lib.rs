@@ -1,0 +1,20 @@
+//! # srm-sim — scenario-driven SRM simulation
+//!
+//! Describe a topology, session, loss process, and workload in a JSON file
+//! (see `scenarios/` at the repository root) and run it:
+//!
+//! ```text
+//! srm-sim scenarios/lossy_tree.json
+//! srm-sim --json scenarios/fec_stream.json   # machine-readable report
+//! ```
+//!
+//! The schema lives in [`spec`], the executor and report in [`run()`](run()).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod run;
+pub mod spec;
+
+pub use run::{run, Report, RunError};
+pub use spec::Scenario;

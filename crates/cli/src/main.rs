@@ -1,0 +1,52 @@
+//! CLI entry point for `srm-sim`.
+
+use srm_sim::{run, Scenario};
+
+fn main() {
+    let mut json_out = false;
+    let mut files = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json_out = true,
+            "-h" | "--help" => {
+                eprintln!("usage: srm-sim [--json] <scenario.json>...");
+                return;
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: srm-sim [--json] <scenario.json>...");
+        std::process::exit(2);
+    }
+    for f in files {
+        let text = match std::fs::read_to_string(&f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let scenario = match Scenario::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{f}: invalid scenario: {e}");
+                std::process::exit(1);
+            }
+        };
+        match run(&scenario) {
+            Ok(report) => {
+                if json_out {
+                    println!("{}", report.to_json());
+                } else {
+                    println!("== {f} ==");
+                    print!("{}", report.render());
+                }
+            }
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The JSON scenario schema for `srm-sim`.
+//!
+//! A scenario file describes a topology, a session membership, an SRM
+//! configuration, a loss process, and a workload; [`crate::run()`](crate::run()) executes
+//! it and reports traffic and recovery statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Topology description.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TopologySpec {
+    /// A chain of `n` nodes.
+    Chain {
+        /// Node count.
+        n: usize,
+    },
+    /// A star with `leaves` leaf nodes and a non-member hub (node 0).
+    Star {
+        /// Leaf count.
+        leaves: usize,
+    },
+    /// A balanced bounded-degree tree.
+    BoundedTree {
+        /// Node count.
+        n: usize,
+        /// Interior degree.
+        degree: usize,
+    },
+    /// A uniformly random labeled tree.
+    RandomTree {
+        /// Node count.
+        n: usize,
+    },
+    /// A connected random graph.
+    RandomGraph {
+        /// Node count.
+        n: usize,
+        /// Edge count (≥ n−1).
+        m: usize,
+    },
+}
+
+/// Which nodes join the session.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "snake_case", untagged)]
+pub enum MembersSpec {
+    /// Explicit node ids.
+    List(Vec<u32>),
+    /// `{"random": k}`: k members chosen uniformly.
+    Random {
+        /// Member count.
+        random: usize,
+    },
+    /// The string "all": every node joins.
+    All(AllTag),
+}
+
+/// The literal string "all".
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "snake_case")]
+pub enum AllTag {
+    /// Every node is a member.
+    All,
+}
+
+/// Timer parameter selection.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "snake_case", untagged)]
+pub enum TimersSpec {
+    /// `"fixed"`: the paper's C1=D1=2, C2=D2=√G.
+    Preset(TimerPreset),
+    /// Explicit constants.
+    Explicit {
+        /// Request interval start multiplier.
+        c1: f64,
+        /// Request interval width multiplier.
+        c2: f64,
+        /// Repair interval start multiplier.
+        d1: f64,
+        /// Repair interval width multiplier.
+        d2: f64,
+    },
+}
+
+/// Named timer presets.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "snake_case")]
+pub enum TimerPreset {
+    /// C1=D1=2, C2=D2=√G (Section V).
+    Fixed,
+    /// The Section VII-A adaptive algorithm (backoff ×3).
+    Adaptive,
+    /// wb 1.59's fixed millisecond intervals.
+    Wb159,
+}
+
+/// Recovery scope selection.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "snake_case")]
+pub enum ScopeSpec {
+    /// Global recovery (default).
+    Global,
+    /// TTL-scoped with two-step repairs.
+    Ttl {
+        /// Initial request TTL.
+        ttl: u8,
+    },
+    /// Administratively scoped.
+    Admin,
+}
+
+/// Protocol configuration.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(default)]
+pub struct ConfigSpec {
+    /// Timer selection.
+    pub timers: TimersSpec,
+    /// Recovery scope.
+    pub scope: ScopeSpec,
+    /// FEC block size (`0` = off).
+    pub fec_k: u8,
+    /// Enable Section VII-B2 recovery groups with this invite TTL
+    /// (`0` = off).
+    pub recovery_group_ttl: u8,
+    /// Enable Section IX-A hierarchical session messages with this local
+    /// TTL (`0` = off).
+    pub hierarchy_ttl: u8,
+    /// Periodic session messages on/off.
+    pub session_messages: bool,
+    /// Token-bucket send limit in bytes/second (`0` = unlimited).
+    pub rate_limit_bps: f64,
+}
+
+impl Default for ConfigSpec {
+    fn default() -> Self {
+        ConfigSpec {
+            timers: TimersSpec::Preset(TimerPreset::Fixed),
+            scope: ScopeSpec::Global,
+            fec_k: 0,
+            recovery_group_ttl: 0,
+            hierarchy_ttl: 0,
+            session_messages: true,
+            rate_limit_bps: 0.0,
+        }
+    }
+}
+
+/// Loss process.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum LossSpec {
+    /// No loss.
+    None,
+    /// Independent Bernoulli loss on every link.
+    Bernoulli {
+        /// Drop probability.
+        p: f64,
+    },
+    /// Drop the given (1-based) packet ordinals on the link between two
+    /// nodes.
+    Scripted {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// 1-based ordinals of crossings to drop.
+        ordinals: Vec<u64>,
+    },
+}
+
+/// Channel effects.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Default)]
+#[serde(default)]
+pub struct EffectsSpec {
+    /// Per-hop duplication probability.
+    pub duplication: f64,
+    /// Maximum per-hop reordering jitter, seconds.
+    pub jitter_secs: f64,
+}
+
+/// Data workload: the source streams ADUs.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(default)]
+pub struct WorkloadSpec {
+    /// Number of ADUs to originate.
+    pub adus: u32,
+    /// Seconds between ADUs.
+    pub interval_secs: f64,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            adus: 10,
+            interval_secs: 5.0,
+            payload_bytes: 64,
+        }
+    }
+}
+
+/// A complete scenario file.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Scenario {
+    /// Topology to build.
+    pub topology: TopologySpec,
+    /// RNG seed (topology, membership, and protocol timers).
+    #[serde(default)]
+    pub seed: u64,
+    /// Session membership.
+    pub members: MembersSpec,
+    /// Data source: a node id, or absent for the first member.
+    #[serde(default)]
+    pub source: Option<u32>,
+    /// Protocol configuration.
+    #[serde(default)]
+    pub config: ConfigSpec,
+    /// Loss process.
+    #[serde(default = "default_loss")]
+    pub loss: LossSpec,
+    /// Channel effects.
+    #[serde(default)]
+    pub effects: EffectsSpec,
+    /// Workload.
+    #[serde(default)]
+    pub workload: WorkloadSpec,
+    /// Extra settle time after the workload, seconds.
+    #[serde(default = "default_settle")]
+    pub settle_secs: f64,
+}
+
+fn default_loss() -> LossSpec {
+    LossSpec::None
+}
+
+fn default_settle() -> f64 {
+    2000.0
+}
+
+impl Scenario {
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Scenario, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_scenario_parses() {
+        let s = r#"{
+            "topology": {"kind": "chain", "n": 10},
+            "members": "all"
+        }"#;
+        let sc = Scenario::from_json(s).unwrap();
+        assert_eq!(sc.topology, TopologySpec::Chain { n: 10 });
+        assert_eq!(sc.members, MembersSpec::All(AllTag::All));
+        assert_eq!(sc.config.timers, TimersSpec::Preset(TimerPreset::Fixed));
+        assert_eq!(sc.loss, LossSpec::None);
+    }
+
+    #[test]
+    fn full_scenario_roundtrips() {
+        let sc = Scenario {
+            topology: TopologySpec::BoundedTree { n: 200, degree: 4 },
+            seed: 7,
+            members: MembersSpec::Random { random: 20 },
+            source: Some(3),
+            config: ConfigSpec {
+                timers: TimersSpec::Explicit {
+                    c1: 2.0,
+                    c2: 5.0,
+                    d1: 1.0,
+                    d2: 5.0,
+                },
+                scope: ScopeSpec::Ttl { ttl: 8 },
+                fec_k: 4,
+                recovery_group_ttl: 3,
+                hierarchy_ttl: 2,
+                session_messages: true,
+                rate_limit_bps: 8000.0,
+            },
+            loss: LossSpec::Bernoulli { p: 0.02 },
+            effects: EffectsSpec {
+                duplication: 0.01,
+                jitter_secs: 0.2,
+            },
+            workload: WorkloadSpec {
+                adus: 30,
+                interval_secs: 2.0,
+                payload_bytes: 128,
+            },
+            settle_secs: 500.0,
+        };
+        let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(parsed, sc);
+    }
+
+    #[test]
+    fn member_list_and_preset_variants() {
+        let s = r#"{
+            "topology": {"kind": "star", "leaves": 5},
+            "members": [1, 2, 3],
+            "config": {"timers": "adaptive"}
+        }"#;
+        let sc = Scenario::from_json(s).unwrap();
+        assert_eq!(sc.members, MembersSpec::List(vec![1, 2, 3]));
+        assert_eq!(sc.config.timers, TimersSpec::Preset(TimerPreset::Adaptive));
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(Scenario::from_json("{}").is_err());
+        assert!(Scenario::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! NTP-style one-way distance estimation from session-message timestamps
+//! (Section III-A).
+//!
+//! Host A sends a session packet at `t1`; host B receives it at `t2`; at
+//! `t3` B sends a session packet echoing `(t1, Δ)` with `Δ = t3 − t2`; A
+//! receives it at `t4` and estimates the one-way latency to B as
+//! `((t4 − t1) − Δ) / 2`.
+//!
+//! The estimate "does not assume synchronized clocks, but it does assume
+//! that paths are roughly symmetric". Our simulated links are symmetric, so
+//! after one full session-message exchange the estimates are exact.
+
+use crate::name::SourceId;
+use crate::wire::Echo;
+use netsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// What we know about one peer's timing.
+#[derive(Clone, Copy, Debug)]
+struct PeerClock {
+    /// The peer's send timestamp on its most recent session message.
+    last_ts: SimTime,
+    /// Our local receive time of that message.
+    received_at: SimTime,
+    /// Current distance estimate, if any exchange has completed.
+    distance: Option<SimDuration>,
+}
+
+/// Tracks per-peer timestamps and produces/consumes echoes.
+#[derive(Clone, Debug, Default)]
+pub struct DistanceEstimator {
+    peers: BTreeMap<SourceId, PeerClock>,
+    /// Smoothing factor for distance updates: `d ← (1−α)d + α·sample`.
+    /// `1.0` (the default) keeps just the latest sample, which is what the
+    /// paper's simulations assume (converged, exact estimates).
+    pub alpha: f64,
+    /// Fallback distance for peers we have no estimate for yet.
+    pub default_distance: SimDuration,
+}
+
+impl DistanceEstimator {
+    /// New estimator with the given fallback distance.
+    pub fn new(default_distance: SimDuration) -> Self {
+        DistanceEstimator {
+            peers: BTreeMap::new(),
+            alpha: 1.0,
+            default_distance,
+        }
+    }
+
+    /// Record the header timestamp of any packet received from `peer`
+    /// ("All packets for that group, including session packets, include a
+    /// Source-ID and a timestamp").
+    pub fn note_timestamp(&mut self, peer: SourceId, their_ts: SimTime, now: SimTime) {
+        let e = self.peers.entry(peer).or_insert(PeerClock {
+            last_ts: their_ts,
+            received_at: now,
+            distance: None,
+        });
+        e.last_ts = their_ts;
+        e.received_at = now;
+    }
+
+    /// Process an echo of *our own* timestamp arriving from `peer` at `now`:
+    /// `d = ((t4 − t1) − Δ)/2`.
+    pub fn process_echo(&mut self, peer: SourceId, echo: &Echo, now: SimTime) {
+        // t4 − t1:
+        let rtt_plus_delay = now.since(echo.their_ts);
+        let sample = rtt_plus_delay - echo.delay;
+        let one_way = SimDuration::from_secs_f64(sample.as_secs_f64() / 2.0);
+        let e = self.peers.entry(peer).or_insert(PeerClock {
+            last_ts: SimTime::ZERO,
+            received_at: SimTime::ZERO,
+            distance: None,
+        });
+        e.distance = Some(match e.distance {
+            None => one_way,
+            Some(prev) => SimDuration::from_secs_f64(
+                prev.as_secs_f64() * (1.0 - self.alpha) + one_way.as_secs_f64() * self.alpha,
+            ),
+        });
+    }
+
+    /// Build the echo list to put in an outgoing session message sent at
+    /// `now`: for every peer we have heard, `(their last ts, Δ)`.
+    pub fn make_echoes(&self, now: SimTime) -> Vec<Echo> {
+        self.peers
+            .iter()
+            .map(|(&peer, pc)| Echo {
+                peer,
+                their_ts: pc.last_ts,
+                delay: now.since(pc.received_at),
+            })
+            .collect()
+    }
+
+    /// Current estimate of the one-way distance to `peer`, or the default.
+    pub fn distance_to(&self, peer: SourceId) -> SimDuration {
+        self.peers
+            .get(&peer)
+            .and_then(|p| p.distance)
+            .unwrap_or(self.default_distance)
+    }
+
+    /// Whether we have a real (non-default) estimate for `peer`.
+    pub fn has_estimate(&self, peer: SourceId) -> bool {
+        self.peers.get(&peer).is_some_and(|p| p.distance.is_some())
+    }
+
+    /// Peers we have heard from at all.
+    pub fn known_peers(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.peers.keys().copied()
+    }
+
+    /// Number of distinct peers heard — the group-size estimate the session
+    /// message rate scaling uses (Section III-A / \[30\]).
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// "Members can also use session messages in SRM to determine the
+    /// current participants of the session": peers heard within `window`
+    /// of `now`, ascending. Members that left (or are partitioned away)
+    /// age out of this list while remaining known for distance purposes.
+    pub fn active_peers(&self, now: SimTime, window: SimDuration) -> Vec<SourceId> {
+        self.peers
+            .iter()
+            .filter(|(_, pc)| now.since(pc.received_at) <= window)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Override the estimate for `peer` (used by tests and by experiment
+    /// setups that assume converged estimates).
+    pub fn set_distance(&mut self, peer: SourceId, d: SimDuration) {
+        let e = self.peers.entry(peer).or_insert(PeerClock {
+            last_ts: SimTime::ZERO,
+            received_at: SimTime::ZERO,
+            distance: None,
+        });
+        e.distance = Some(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: SourceId = SourceId(2);
+
+    #[test]
+    fn symmetric_exchange_yields_exact_distance() {
+        // One-way delay is 3 s, clocks synchronized (the formula does not
+        // care): A sends at t1=10, B receives t2=13, B replies at t3=20
+        // with delay Δ=7, A receives at t4=23. d = ((23−10)−7)/2 = 3.
+        let mut est = DistanceEstimator::new(SimDuration::from_secs(1));
+        let echo = Echo {
+            peer: SourceId(1), // us, as recorded by B
+            their_ts: SimTime::from_secs(10),
+            delay: SimDuration::from_secs(7),
+        };
+        est.process_echo(B, &echo, SimTime::from_secs(23));
+        assert_eq!(est.distance_to(B), SimDuration::from_secs(3));
+        assert!(est.has_estimate(B));
+    }
+
+    #[test]
+    fn default_distance_until_estimate() {
+        let est = DistanceEstimator::new(SimDuration::from_secs(5));
+        assert_eq!(est.distance_to(B), SimDuration::from_secs(5));
+        assert!(!est.has_estimate(B));
+    }
+
+    #[test]
+    fn echo_construction_includes_delay_since_receipt() {
+        let mut est = DistanceEstimator::new(SimDuration::from_secs(1));
+        est.note_timestamp(B, SimTime::from_secs(100), SimTime::from_secs(104));
+        let echoes = est.make_echoes(SimTime::from_secs(110));
+        assert_eq!(echoes.len(), 1);
+        assert_eq!(echoes[0].peer, B);
+        assert_eq!(echoes[0].their_ts, SimTime::from_secs(100));
+        assert_eq!(echoes[0].delay, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn smoothing_blends_samples() {
+        let mut est = DistanceEstimator::new(SimDuration::from_secs(1));
+        est.alpha = 0.5;
+        let mk = |t1: u64, delay: u64| Echo {
+            peer: SourceId(1),
+            their_ts: SimTime::from_secs(t1),
+            delay: SimDuration::from_secs(delay),
+        };
+        // Sample 1: d = 4.
+        est.process_echo(B, &mk(0, 2), SimTime::from_secs(10));
+        assert_eq!(est.distance_to(B), SimDuration::from_secs(4));
+        // Sample 2: d = 2 → smoothed to 3.
+        est.process_echo(B, &mk(20, 2), SimTime::from_secs(26));
+        assert_eq!(est.distance_to(B), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn peer_count_tracks_distinct_sources() {
+        let mut est = DistanceEstimator::new(SimDuration::from_secs(1));
+        est.note_timestamp(SourceId(2), SimTime::ZERO, SimTime::ZERO);
+        est.note_timestamp(SourceId(3), SimTime::ZERO, SimTime::ZERO);
+        est.note_timestamp(SourceId(2), SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(est.peer_count(), 2);
+    }
+
+    #[test]
+    fn active_peers_age_out() {
+        let mut est = DistanceEstimator::new(SimDuration::from_secs(1));
+        est.note_timestamp(SourceId(2), SimTime::ZERO, SimTime::from_secs(60));
+        est.note_timestamp(SourceId(3), SimTime::ZERO, SimTime::from_secs(100));
+        let w = SimDuration::from_secs(60);
+        assert_eq!(
+            est.active_peers(SimTime::from_secs(110), w),
+            vec![SourceId(2), SourceId(3)]
+        );
+        // Peer 2 falls silent past the window; it stays known but inactive.
+        assert_eq!(
+            est.active_peers(SimTime::from_secs(140), w),
+            vec![SourceId(3)]
+        );
+        assert_eq!(est.peer_count(), 2);
+    }
+
+    #[test]
+    fn set_distance_overrides() {
+        let mut est = DistanceEstimator::new(SimDuration::from_secs(1));
+        est.set_distance(B, SimDuration::from_secs(9));
+        assert_eq!(est.distance_to(B), SimDuration::from_secs(9));
+    }
+}

@@ -1,0 +1,294 @@
+//! SRM configuration.
+//!
+//! The framework's knobs, with defaults matching the paper's Section V
+//! simulations: `C1 = D1 = 2`, `C2 = D2 = √G` (set by the experiment once
+//! the session size is known), backoff ×2 (×3 when the adaptive algorithm
+//! is on, per Section VII-A), session messages capped at 5% of the session
+//! bandwidth.
+
+use netsim::SimDuration;
+
+/// The four timer constants of Section III-B.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimerParams {
+    /// Request-timer interval start multiplier: timers are drawn from
+    /// `[C1·d, (C1+C2)·d]` where `d` is the distance to the data's source.
+    pub c1: f64,
+    /// Request-timer interval width multiplier.
+    pub c2: f64,
+    /// Repair-timer interval start multiplier: `[D1·d, (D1+D2)·d]` where
+    /// `d` is the distance to the requestor.
+    pub d1: f64,
+    /// Repair-timer interval width multiplier.
+    pub d2: f64,
+}
+
+impl TimerParams {
+    /// The paper's fixed-parameter setting for a session of size `g`:
+    /// `C1 = D1 = 2`, `C2 = D2 = √G` (Section V).
+    pub fn fixed_for_group(g: usize) -> Self {
+        let s = (g as f64).sqrt();
+        TimerParams {
+            c1: 2.0,
+            c2: s,
+            d1: 2.0,
+            d2: s,
+        }
+    }
+}
+
+impl Default for TimerParams {
+    fn default() -> Self {
+        TimerParams {
+            c1: 2.0,
+            c2: 2.0,
+            d1: 2.0,
+            d2: 2.0,
+        }
+    }
+}
+
+/// Constants of the adaptive adjustment algorithm (Section VII-A,
+/// Figs 9–11). The prose fixes the adjustment steps (−0.05/+0.1 for C1,
+/// −0.1/+0.5 for C2) and the one-duplicate target; initial values and
+/// clamps are our documented reconstruction of Fig 11 (see DESIGN.md §6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Target bound on the average duplicate count ("the predefined
+    /// threshold is one duplicate request").
+    pub ave_dups: f64,
+    /// Target bound on the average request/repair delay, in units of the
+    /// RTT to the relevant source.
+    pub ave_delay: f64,
+    /// EWMA weight λ for the running averages.
+    pub lambda: f64,
+    /// Lower/upper clamp for C1 and D1.
+    pub min_c1: f64,
+    /// Upper clamp for C1 and D1.
+    pub max_c1: f64,
+    /// Lower clamp for C2 and D2.
+    pub min_c2: f64,
+    /// Upper clamp for C2 and D2.
+    pub max_c2: f64,
+    /// "further from the source" factor: a duplicate request reported from
+    /// more than this multiple of our own distance triggers a C2 decrease
+    /// for recent requestors (paper: 1.5).
+    pub farther_factor: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            ave_dups: 1.0,
+            ave_delay: 1.0,
+            lambda: 0.25,
+            min_c1: 0.5,
+            max_c1: 2.0,
+            min_c2: 1.0,
+            max_c2: 64.0,
+            farther_factor: 1.5,
+        }
+    }
+}
+
+/// Scope policy for requests and repairs (Section VII-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecoveryScope {
+    /// Global recovery: everything multicast to the whole group (the base
+    /// framework of Section III).
+    #[default]
+    Global,
+    /// TTL-based local recovery with the given initial request TTL;
+    /// repairs use two-step re-multicast (Section VII-B3).
+    Ttl(u8),
+    /// Administratively scoped recovery (Section VII-B1): requests and
+    /// repairs carry the admin-scope flag and stop at zone boundaries.
+    Admin,
+}
+
+/// Fixed timer intervals à la wb 1.59 (Section III-E): "members set a
+/// request timer to a random value from the interval [c, 2c], where c is
+/// set to a fixed value of 30 ms … after receiving a request members set a
+/// repair timer to a random value from the interval [d, 2d]. For the
+/// original source of the data, d is set to a fixed value of 100 ms, and
+/// for other members d is set to 200 ms." Distance estimation is bypassed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FixedIntervals {
+    /// Request interval base `c` in seconds (wb: 0.030).
+    pub request: f64,
+    /// Repair interval base `d` at the original source (wb: 0.100).
+    pub repair_source: f64,
+    /// Repair interval base `d` at other members (wb: 0.200).
+    pub repair_other: f64,
+}
+
+impl FixedIntervals {
+    /// The wb 1.59 values.
+    pub fn wb159() -> Self {
+        FixedIntervals {
+            request: 0.030,
+            repair_source: 0.100,
+            repair_other: 0.200,
+        }
+    }
+}
+
+/// Separate-multicast-group local recovery (Section VII-B2): after enough
+/// local losses, a member allocates a recovery group, invites nearby
+/// members with a TTL-scoped invitation, and subsequent first-round
+/// requests (and their repairs) use that group instead of the session
+/// group. Unanswered requests still widen back to the session group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryGroupConfig {
+    /// Scope of the invitation — "nearby" is whoever it reaches.
+    pub invite_ttl: u8,
+    /// Create/invite after this many locally detected losses.
+    pub min_losses: u64,
+}
+
+/// Token-bucket rate limit (Section III-E: "individual members would use a
+/// token bucket rate limiter to enforce this peak rate").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateLimit {
+    /// Sustained rate, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Bucket depth, bytes.
+    pub burst_bytes: f64,
+}
+
+/// Full agent configuration.
+#[derive(Clone, Debug)]
+pub struct SrmConfig {
+    /// Request/repair timer constants.
+    pub timers: TimerParams,
+    /// Backoff multiplier applied to the request-timer interval after each
+    /// suppression/expiry: 2 in the base framework, 3 with the adaptive
+    /// algorithm (Section VII-A).
+    pub backoff: f64,
+    /// Give up re-requesting an ADU after this many request transmissions
+    /// (`None` = retry forever; the paper's reliability model).
+    pub max_request_rounds: Option<u32>,
+    /// Hold-down factor: ignore requests for an ADU for `hold_down · d_SB`
+    /// seconds after sending or receiving a repair for it (paper: 3).
+    pub hold_down: f64,
+    /// Adaptive timer adjustment (Section VII-A); `None` = fixed timers.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// wb-1.59-style fixed intervals; when set, request/repair timers use
+    /// these bases instead of distance-scaled `C·d` intervals.
+    pub fixed_intervals: Option<FixedIntervals>,
+    /// Proactive parity FEC (Section VII-B / \[38\]); `None` = off.
+    pub fec: Option<crate::fec::FecConfig>,
+    /// Separate-multicast-group local recovery (Section VII-B2); `None` =
+    /// off.
+    pub recovery_groups: Option<RecoveryGroupConfig>,
+    /// Hierarchical session messages with local representatives
+    /// (Section IX-A); `None` = every member sends global session messages.
+    pub session_hierarchy: Option<crate::hierarchy::HierarchyConfig>,
+    /// Recovery scope policy.
+    pub scope: RecoveryScope,
+    /// Fraction of the session bandwidth for session messages (paper: 5%).
+    pub session_fraction: f64,
+    /// Aggregate session data bandwidth assumption, bytes per second
+    /// (Section III-C's "fixed bandwidth constraint").
+    pub session_bandwidth: f64,
+    /// Nominal session-message size in bytes, for rate scaling.
+    pub session_msg_bytes: f64,
+    /// Floor on the session-message interval.
+    pub min_session_interval: SimDuration,
+    /// Ceiling on the session-message interval (keeps liveness when the
+    /// measured data bandwidth goes to zero in an idle session).
+    pub max_session_interval: SimDuration,
+    /// §III-A "measured adaptively": when true, the session-message rate
+    /// is a fraction of the *measured* aggregate data bandwidth (trailing
+    /// window) instead of the static `session_bandwidth` allocation.
+    pub measured_session_bandwidth: bool,
+    /// Distance assumed for peers we have no estimate for.
+    pub default_distance: SimDuration,
+    /// Optional token-bucket send rate limit.
+    pub rate_limit: Option<RateLimit>,
+    /// How many recent local losses to advertise in the session-message
+    /// loss fingerprint (Section VII-B).
+    pub fingerprint_len: usize,
+    /// Keep at most this many ADUs per stream (`None` = keep everything).
+    pub retention_per_stream: Option<usize>,
+}
+
+impl Default for SrmConfig {
+    fn default() -> Self {
+        SrmConfig {
+            timers: TimerParams::default(),
+            backoff: 2.0,
+            max_request_rounds: None,
+            hold_down: 3.0,
+            adaptive: None,
+            fixed_intervals: None,
+            fec: None,
+            recovery_groups: None,
+            session_hierarchy: None,
+            scope: RecoveryScope::Global,
+            session_fraction: 0.05,
+            session_bandwidth: 16_000.0,
+            session_msg_bytes: 100.0,
+            min_session_interval: SimDuration::from_secs(1),
+            max_session_interval: SimDuration::from_secs(120),
+            measured_session_bandwidth: false,
+            default_distance: SimDuration::from_secs(1),
+            rate_limit: None,
+            fingerprint_len: 8,
+            retention_per_stream: None,
+        }
+    }
+}
+
+impl SrmConfig {
+    /// Paper Section V defaults for a session of `g` members, fixed timers.
+    pub fn fixed(g: usize) -> Self {
+        SrmConfig {
+            timers: TimerParams::fixed_for_group(g),
+            ..Default::default()
+        }
+    }
+
+    /// Paper Section VII-A defaults: adaptive timers (starting from the
+    /// fixed setting for `g`), backoff ×3.
+    pub fn adaptive(g: usize) -> Self {
+        SrmConfig {
+            timers: TimerParams::fixed_for_group(g),
+            backoff: 3.0,
+            adaptive: Some(AdaptiveConfig::default()),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_params_follow_sqrt_g() {
+        let p = TimerParams::fixed_for_group(100);
+        assert_eq!(p.c1, 2.0);
+        assert_eq!(p.d1, 2.0);
+        assert!((p.c2 - 10.0).abs() < 1e-12);
+        assert!((p.d2 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_preset_uses_triple_backoff() {
+        let c = SrmConfig::adaptive(50);
+        assert_eq!(c.backoff, 3.0);
+        assert!(c.adaptive.is_some());
+        let f = SrmConfig::fixed(50);
+        assert_eq!(f.backoff, 2.0);
+        assert!(f.adaptive.is_none());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SrmConfig::default();
+        assert!(c.session_fraction > 0.0 && c.session_fraction < 1.0);
+        assert_eq!(c.hold_down, 3.0);
+        assert_eq!(c.scope, RecoveryScope::Global);
+    }
+}

@@ -1,0 +1,236 @@
+//! Parity-based forward error correction (the extension the paper points
+//! to in Section VII-B: "Forward Error Correction (FEC) \[38\] … ha\[s\] great
+//! potential for reducing the negative impacts of transient or mild
+//! congestion for reliable multicast applications").
+//!
+//! Following Nonnenmacher/Biersack/Towsley \[38\], the sender emits one XOR
+//! parity packet per block of `k` data ADUs on a stream. Any receiver
+//! missing exactly one ADU of a block can reconstruct it locally — no
+//! request, no repair, no recovery latency. Losses of two or more ADUs in
+//! a block still fall back to SRM's request/repair machinery, so FEC
+//! composes with (rather than replaces) reliability.
+//!
+//! XOR reconstruction handles variable-length payloads by XORing the
+//! lengths alongside the zero-padded payloads.
+
+use crate::name::{PageId, SeqNo, SourceId};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// FEC configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FecConfig {
+    /// Block size: one parity packet per `k` data ADUs.
+    pub k: u8,
+}
+
+/// A parity packet's content: the XOR of one block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Parity {
+    /// Stream source.
+    pub source: SourceId,
+    /// Stream page.
+    pub page: PageId,
+    /// First sequence number of the covered block.
+    pub block_start: SeqNo,
+    /// Number of ADUs covered.
+    pub k: u8,
+    /// XOR of the payload lengths.
+    pub xor_len: u32,
+    /// XOR of the zero-padded payloads.
+    pub xor_payload: Bytes,
+}
+
+/// XOR `b` into `a`, growing `a` with zeros as needed.
+fn xor_into(a: &mut Vec<u8>, b: &[u8]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, y) in a.iter_mut().zip(b) {
+        *x ^= y;
+    }
+}
+
+/// Sender-side accumulator: feeds on outgoing ADUs, yields a [`Parity`]
+/// every `k` packets.
+#[derive(Clone, Debug)]
+pub struct ParityEncoder {
+    k: u8,
+    blocks: BTreeMap<PageId, BlockAcc>,
+}
+
+#[derive(Clone, Debug)]
+struct BlockAcc {
+    start: SeqNo,
+    count: u8,
+    xor_len: u32,
+    xor_payload: Vec<u8>,
+}
+
+impl ParityEncoder {
+    /// One parity per `k` ADUs.
+    pub fn new(k: u8) -> Self {
+        assert!(k >= 1);
+        ParityEncoder {
+            k,
+            blocks: BTreeMap::new(),
+        }
+    }
+
+    /// Feed an outgoing ADU; returns a parity packet when a block closes.
+    pub fn push(
+        &mut self,
+        source: SourceId,
+        page: PageId,
+        seq: SeqNo,
+        payload: &Bytes,
+    ) -> Option<Parity> {
+        let acc = self.blocks.entry(page).or_insert(BlockAcc {
+            start: seq,
+            count: 0,
+            xor_len: 0,
+            xor_payload: Vec::new(),
+        });
+        acc.count += 1;
+        acc.xor_len ^= payload.len() as u32;
+        xor_into(&mut acc.xor_payload, payload);
+        if acc.count == self.k {
+            let done = self.blocks.remove(&page).expect("present");
+            Some(Parity {
+                source,
+                page,
+                block_start: done.start,
+                k: self.k,
+                xor_len: done.xor_len,
+                xor_payload: Bytes::from(done.xor_payload),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Attempt reconstruction: given the block's parity and the payloads of the
+/// ADUs that *did* arrive, recover the single missing payload.
+///
+/// Returns `None` unless exactly one ADU of the block is absent.
+pub fn reconstruct(
+    parity: &Parity,
+    have: &dyn Fn(SeqNo) -> Option<Bytes>,
+) -> Option<(SeqNo, Bytes)> {
+    let mut missing = None;
+    let mut xor_len = parity.xor_len;
+    let mut buf: Vec<u8> = parity.xor_payload.to_vec();
+    for i in 0..parity.k as u64 {
+        let seq = SeqNo(parity.block_start.0 + i);
+        match have(seq) {
+            Some(p) => {
+                xor_len ^= p.len() as u32;
+                xor_into(&mut buf, &p);
+            }
+            None => {
+                if missing.replace(seq).is_some() {
+                    return None; // two or more missing: XOR can't help
+                }
+            }
+        }
+    }
+    let seq = missing?;
+    let len = xor_len as usize;
+    if len > buf.len() {
+        return None; // inconsistent parity (corrupt)
+    }
+    buf.truncate(len);
+    Some((seq, Bytes::from(buf)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: SourceId = SourceId(1);
+
+    fn page() -> PageId {
+        PageId::new(SRC, 0)
+    }
+
+    fn payloads() -> Vec<Bytes> {
+        vec![
+            Bytes::from_static(b"alpha"),
+            Bytes::from_static(b"bee"),
+            Bytes::from_static(b"gamma-gamma"),
+            Bytes::from_static(b""),
+        ]
+    }
+
+    fn encode_block() -> Parity {
+        let mut enc = ParityEncoder::new(4);
+        let mut parity = None;
+        for (i, p) in payloads().iter().enumerate() {
+            parity = enc.push(SRC, page(), SeqNo(i as u64), p);
+        }
+        parity.expect("block of 4 closes")
+    }
+
+    #[test]
+    fn encoder_emits_every_k() {
+        let mut enc = ParityEncoder::new(2);
+        assert!(enc
+            .push(SRC, page(), SeqNo(0), &Bytes::from_static(b"a"))
+            .is_none());
+        let p = enc
+            .push(SRC, page(), SeqNo(1), &Bytes::from_static(b"b"))
+            .expect("second closes block");
+        assert_eq!(p.block_start, SeqNo(0));
+        assert_eq!(p.k, 2);
+        // Next block starts fresh.
+        assert!(enc
+            .push(SRC, page(), SeqNo(2), &Bytes::from_static(b"c"))
+            .is_none());
+    }
+
+    #[test]
+    fn reconstructs_each_possible_single_loss() {
+        let parity = encode_block();
+        let all = payloads();
+        for lost in 0..4usize {
+            let have = |seq: SeqNo| -> Option<Bytes> {
+                let i = seq.0 as usize;
+                (i != lost).then(|| all[i].clone())
+            };
+            let (seq, data) = reconstruct(&parity, &have).expect("single loss");
+            assert_eq!(seq, SeqNo(lost as u64));
+            assert_eq!(data, all[lost], "lost index {lost}");
+        }
+    }
+
+    #[test]
+    fn two_losses_cannot_be_reconstructed() {
+        let parity = encode_block();
+        let all = payloads();
+        let have = |seq: SeqNo| -> Option<Bytes> {
+            let i = seq.0 as usize;
+            (i != 0 && i != 2).then(|| all[i].clone())
+        };
+        assert!(reconstruct(&parity, &have).is_none());
+    }
+
+    #[test]
+    fn zero_losses_yields_none() {
+        let parity = encode_block();
+        let all = payloads();
+        let have = |seq: SeqNo| -> Option<Bytes> { Some(all[seq.0 as usize].clone()) };
+        assert!(reconstruct(&parity, &have).is_none());
+    }
+
+    #[test]
+    fn per_page_blocks_are_independent() {
+        let mut enc = ParityEncoder::new(2);
+        let p2 = PageId::new(SRC, 1);
+        enc.push(SRC, page(), SeqNo(0), &Bytes::from_static(b"a"));
+        assert!(enc.push(SRC, p2, SeqNo(0), &Bytes::from_static(b"x")).is_none());
+        let done = enc.push(SRC, page(), SeqNo(1), &Bytes::from_static(b"b"));
+        assert!(done.is_some());
+        assert_eq!(done.unwrap().page, page());
+    }
+}

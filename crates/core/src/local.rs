@@ -1,0 +1,210 @@
+//! Local recovery (Section VII-B).
+//!
+//! Mechanisms for limiting the scope of requests and repairs:
+//!
+//! - **Administrative scoping** (VII-B1): send with the admin-scope flag so
+//!   routers stop the packet at zone boundaries.
+//! - **TTL-based scoping** (VII-B3): send the request with a limited TTL;
+//!   answer with a *one-step* repair (TTL = request TTL + hop count back to
+//!   the requestor) or the markedly more efficient *two-step* repair: the
+//!   replier sends a local repair with the request's TTL naming the
+//!   requestor, and the requestor — on seeing a repair naming itself —
+//!   re-multicasts it with the TTL of its original request, guaranteeing
+//!   (given symmetry) that everyone who saw the request sees the repair.
+//! - **Scope widening**: "If no repair is received before a backed-off
+//!   request timer expires, then the next request can be sent with a wider
+//!   scope."
+//!
+//! Members learn about *loss neighborhoods* — sets of members sharing the
+//! same losses — from the loss rates and loss fingerprints ("the names of
+//! the last few local losses") carried in session messages, without any
+//! topology knowledge.
+
+use crate::name::{AduName, SourceId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Rolling record of this member's own recent losses, advertised in
+/// session messages.
+#[derive(Clone, Debug)]
+pub struct LossFingerprint {
+    names: VecDeque<AduName>,
+    cap: usize,
+}
+
+impl LossFingerprint {
+    /// Keep the last `cap` losses.
+    pub fn new(cap: usize) -> Self {
+        LossFingerprint {
+            names: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Record a loss (a request timer was set for `name`).
+    pub fn record(&mut self, name: AduName) {
+        if self.names.contains(&name) {
+            return;
+        }
+        self.names.push_back(name);
+        while self.names.len() > self.cap {
+            self.names.pop_front();
+        }
+    }
+
+    /// Current fingerprint, oldest first.
+    pub fn names(&self) -> Vec<AduName> {
+        self.names.iter().copied().collect()
+    }
+
+    /// Jaccard-style overlap with another fingerprint: |∩| / |smaller|.
+    /// 1.0 when one is a subset of the other; 0.0 with no overlap or when
+    /// either is empty.
+    pub fn overlap(&self, other: &[AduName]) -> f64 {
+        if self.names.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let inter = self.names.iter().filter(|n| other.contains(n)).count();
+        inter as f64 / self.names.len().min(other.len()) as f64
+    }
+}
+
+/// What a member has learned about its peers' losses from session messages.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborhoodView {
+    /// Peer → (advertised loss rate, advertised fingerprint).
+    peers: BTreeMap<SourceId, (f32, Vec<AduName>)>,
+}
+
+impl NeighborhoodView {
+    /// Record the loss report from a peer's session message.
+    pub fn update(&mut self, peer: SourceId, loss_rate: f32, fingerprint: Vec<AduName>) {
+        self.peers.insert(peer, (loss_rate, fingerprint));
+    }
+
+    /// Peers whose fingerprints overlap ours by at least `threshold` —
+    /// the estimated *loss neighborhood* sharing our losses.
+    pub fn shared_loss_peers(&self, ours: &LossFingerprint, threshold: f64) -> Vec<SourceId> {
+        self.peers
+            .iter()
+            .filter(|(_, (_, fp))| ours.overlap(fp) >= threshold)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// "a member should send a request with local scope when recent losses
+    /// have been confined to a single loss neighborhood" — true when the
+    /// sharing peers are a small fraction of the known peers
+    /// (Section VII-B's "local loss": "the number of members experiencing
+    /// the loss is much smaller than the total number of members").
+    pub fn loss_is_local(
+        &self,
+        ours: &LossFingerprint,
+        overlap_threshold: f64,
+        local_fraction: f64,
+    ) -> bool {
+        if self.peers.is_empty() {
+            return false;
+        }
+        let sharing = self.shared_loss_peers(ours, overlap_threshold).len();
+        (sharing as f64) <= local_fraction * self.peers.len() as f64
+    }
+
+    /// Number of peers with loss reports.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when no loss reports have been received.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+}
+
+/// TTL schedule for scope widening: each unanswered (backed-off) request
+/// round doubles the TTL until it reaches the global scope.
+pub fn widened_ttl(initial: u8, round: u32) -> u8 {
+    let t = (initial as u32) << round.min(8);
+    u8::try_from(t).unwrap_or(netsim::TTL_GLOBAL).max(1)
+}
+
+/// One-step repair TTL (Section VII-B3): the request came `hops` hops with
+/// initial TTL `request_ttl`; a repair with TTL `request_ttl + hops` is
+/// guaranteed (under symmetry) to reach everyone the request reached.
+pub fn one_step_repair_ttl(request_ttl: u8, hops: u8) -> u8 {
+    request_ttl.saturating_add(hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{PageId, SeqNo};
+
+    fn n(q: u64) -> AduName {
+        AduName::new(SourceId(1), PageId::new(SourceId(1), 0), SeqNo(q))
+    }
+
+    #[test]
+    fn fingerprint_caps_and_dedups() {
+        let mut fp = LossFingerprint::new(3);
+        for q in 0..5 {
+            fp.record(n(q));
+        }
+        fp.record(n(4)); // duplicate ignored
+        assert_eq!(fp.names(), vec![n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn overlap_metric() {
+        let mut a = LossFingerprint::new(4);
+        a.record(n(1));
+        a.record(n(2));
+        assert_eq!(a.overlap(&[n(1), n(2)]), 1.0);
+        assert_eq!(a.overlap(&[n(1), n(9)]), 0.5);
+        assert_eq!(a.overlap(&[n(8), n(9)]), 0.0);
+        assert_eq!(a.overlap(&[]), 0.0);
+    }
+
+    #[test]
+    fn neighborhood_identifies_sharers() {
+        let mut ours = LossFingerprint::new(4);
+        ours.record(n(1));
+        ours.record(n(2));
+        let mut v = NeighborhoodView::default();
+        v.update(SourceId(10), 0.1, vec![n(1), n(2)]); // shares
+        v.update(SourceId(11), 0.0, vec![n(7)]); // does not
+        v.update(SourceId(12), 0.2, vec![n(2), n(3)]); // partial (0.5)
+        let sharers = v.shared_loss_peers(&ours, 0.9);
+        assert_eq!(sharers, vec![SourceId(10)]);
+        let loose = v.shared_loss_peers(&ours, 0.4);
+        assert_eq!(loose, vec![SourceId(10), SourceId(12)]);
+    }
+
+    #[test]
+    fn loss_locality_decision() {
+        let mut ours = LossFingerprint::new(4);
+        ours.record(n(1));
+        let mut v = NeighborhoodView::default();
+        // 1 sharer of 10 peers → local at 20% threshold.
+        v.update(SourceId(10), 0.1, vec![n(1)]);
+        for i in 11..20 {
+            v.update(SourceId(i), 0.0, vec![n(99)]);
+        }
+        assert!(v.loss_is_local(&ours, 0.9, 0.2));
+        assert!(!v.loss_is_local(&ours, 0.9, 0.05));
+    }
+
+    #[test]
+    fn ttl_widening_doubles_then_saturates() {
+        assert_eq!(widened_ttl(4, 0), 4);
+        assert_eq!(widened_ttl(4, 1), 8);
+        assert_eq!(widened_ttl(4, 3), 32);
+        assert_eq!(widened_ttl(4, 6), 255); // saturates at global
+        assert_eq!(widened_ttl(0, 0), 1); // floor
+    }
+
+    #[test]
+    fn one_step_ttl_adds_hops() {
+        assert_eq!(one_step_repair_ttl(8, 3), 11);
+        assert_eq!(one_step_repair_ttl(250, 10), 255);
+    }
+}

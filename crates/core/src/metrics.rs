@@ -1,0 +1,175 @@
+//! Per-agent metrics, the raw material of every figure in Sections V–VII.
+
+use crate::name::AduName;
+use netsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The life of one loss-recovery episode on one member (request side).
+#[derive(Clone, Debug)]
+pub struct RecoveryRecord {
+    /// The ADU recovered.
+    pub name: AduName,
+    /// When the loss was detected (request timer first set).
+    pub detected_at: SimTime,
+    /// When the data finally arrived, if it has.
+    pub recovered_at: Option<SimTime>,
+    /// Delay from detection until the first request was sent or heard.
+    pub request_delay: Option<SimDuration>,
+    /// Requests this member itself multicast.
+    pub requests_sent: u32,
+    /// Requests observed in total for this ADU (sent or heard).
+    pub requests_observed: u32,
+    /// This member's RTT estimate to the data's source at detection
+    /// (2 × one-way distance), for the delay/RTT normalization.
+    pub rtt_to_source: SimDuration,
+    /// True if recovery was abandoned after `max_request_rounds`.
+    pub gave_up: bool,
+}
+
+impl RecoveryRecord {
+    /// Loss-recovery delay (detection → first repair received), the metric
+    /// of Fig 3/4/13: `None` until recovered.
+    pub fn recovery_delay(&self) -> Option<SimDuration> {
+        self.recovered_at.map(|t| t.since(self.detected_at))
+    }
+
+    /// Recovery delay in units of this member's RTT to the source.
+    pub fn recovery_delay_over_rtt(&self) -> Option<f64> {
+        self.recovery_delay()
+            .map(|d| d.as_secs_f64() / self.rtt_to_source.as_secs_f64())
+    }
+
+    /// Request delay in units of the RTT to the source (Fig 5–8 metric).
+    pub fn request_delay_over_rtt(&self) -> Option<f64> {
+        self.request_delay
+            .map(|d| d.as_secs_f64() / self.rtt_to_source.as_secs_f64())
+    }
+}
+
+/// One repair episode on one member (repair side).
+#[derive(Clone, Debug)]
+pub struct RepairRecord {
+    /// The ADU repaired.
+    pub name: AduName,
+    /// When the repair timer was set.
+    pub set_at: SimTime,
+    /// Delay until the first repair was sent or heard.
+    pub repair_delay: Option<SimDuration>,
+    /// Whether this member sent the repair itself.
+    pub sent: bool,
+    /// Repairs observed in total for this ADU.
+    pub repairs_observed: u32,
+}
+
+/// Counters and episode logs for one agent.
+#[derive(Clone, Debug, Default)]
+pub struct AgentMetrics {
+    /// Original data packets multicast.
+    pub data_sent: u64,
+    /// Requests multicast.
+    pub requests_sent: u64,
+    /// Repairs multicast.
+    pub repairs_sent: u64,
+    /// Session messages multicast.
+    pub session_sent: u64,
+    /// Data packets received (originals and repairs).
+    pub data_received: u64,
+    /// Requests received.
+    pub requests_received: u64,
+    /// Repairs received.
+    pub repairs_received: u64,
+    /// Session messages received.
+    pub session_received: u64,
+    /// Requests ignored due to a repair hold-down window.
+    pub requests_held_down: u64,
+    /// Undecodable packets dropped.
+    pub decode_errors: u64,
+    /// Packets that decoded into a well-formed message (of any type).
+    /// `decode_errors + valid_messages` equals every packet delivered to
+    /// the agent.
+    pub valid_messages: u64,
+    /// Completed and in-flight recovery episodes, keyed by ADU.
+    pub recoveries: BTreeMap<AduName, RecoveryRecord>,
+    /// Repair episodes, keyed by ADU.
+    pub repairs: BTreeMap<AduName, RepairRecord>,
+}
+
+impl AgentMetrics {
+    /// Clear the per-episode logs (counters keep accumulating). Experiment
+    /// drivers call this between loss-recovery rounds.
+    pub fn clear_episodes(&mut self) {
+        self.recoveries.clear();
+        self.repairs.clear();
+    }
+
+    /// Reset everything.
+    pub fn reset(&mut self) {
+        *self = AgentMetrics::default();
+    }
+
+    /// Recovery episodes that have completed.
+    pub fn completed_recoveries(&self) -> impl Iterator<Item = &RecoveryRecord> {
+        self.recoveries.values().filter(|r| r.recovered_at.is_some())
+    }
+
+    /// True if every detected loss has been recovered.
+    pub fn all_recovered(&self) -> bool {
+        self.recoveries.values().all(|r| r.recovered_at.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{PageId, SeqNo, SourceId};
+
+    fn rec(detected: u64, recovered: Option<u64>) -> RecoveryRecord {
+        RecoveryRecord {
+            name: AduName::new(SourceId(1), PageId::new(SourceId(1), 0), SeqNo(0)),
+            detected_at: SimTime::from_secs(detected),
+            recovered_at: recovered.map(SimTime::from_secs),
+            request_delay: Some(SimDuration::from_secs(2)),
+            requests_sent: 1,
+            requests_observed: 2,
+            rtt_to_source: SimDuration::from_secs(4),
+            gave_up: false,
+        }
+    }
+
+    #[test]
+    fn delay_normalization() {
+        let r = rec(10, Some(16));
+        assert_eq!(r.recovery_delay(), Some(SimDuration::from_secs(6)));
+        assert_eq!(r.recovery_delay_over_rtt(), Some(1.5));
+        assert_eq!(r.request_delay_over_rtt(), Some(0.5));
+    }
+
+    #[test]
+    fn unrecovered_yields_none() {
+        let r = rec(10, None);
+        assert_eq!(r.recovery_delay(), None);
+        assert_eq!(r.recovery_delay_over_rtt(), None);
+    }
+
+    #[test]
+    fn all_recovered_check() {
+        let mut m = AgentMetrics::default();
+        assert!(m.all_recovered()); // vacuously
+        m.recoveries.insert(rec(1, None).name, rec(1, None));
+        assert!(!m.all_recovered());
+        let done = rec(1, Some(3));
+        m.recoveries.insert(done.name, done);
+        assert!(m.all_recovered());
+        assert_eq!(m.completed_recoveries().count(), 1);
+    }
+
+    #[test]
+    fn clear_episodes_keeps_counters() {
+        let mut m = AgentMetrics::default();
+        m.requests_sent = 5;
+        m.recoveries.insert(rec(1, None).name, rec(1, None));
+        m.clear_episodes();
+        assert_eq!(m.requests_sent, 5);
+        assert!(m.recoveries.is_empty());
+    }
+}

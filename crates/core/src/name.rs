@@ -1,0 +1,145 @@
+//! Application Data Unit (ADU) naming.
+//!
+//! SRM's central assumption (Section II-C / III): *all data has a unique,
+//! persistent name*, independent of the sending host, so that any member —
+//! not just the original source — can answer a repair request. Names are
+//! `(Source-ID, page, sequence number)`:
+//!
+//! - the [`SourceId`] is a globally unique, persistent member identifier
+//!   ("Source-IDs are persistent" across application restarts);
+//! - the [`PageId`] imposes the hierarchy over the namespace that session
+//!   messages rely on ("we impose hierarchy on the data by partitioning the
+//!   state space into pages"); a page is named by its creator plus a
+//!   creator-local page number;
+//! - the [`SeqNo`] is "a simple sequence number with sufficient precision to
+//!   never wrap" — we use 64 bits.
+
+use std::fmt;
+
+/// Globally unique, persistent member identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub u64);
+
+/// Page identifier: the creating member plus a creator-local page number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    /// The member that created the page.
+    pub creator: SourceId,
+    /// Page number, locally unique to the creator.
+    pub number: u32,
+}
+
+/// Per-source, per-page sequence number. 64 bits never wrap in practice.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqNo(pub u64);
+
+/// The unique, persistent name of one ADU.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AduName {
+    /// The member that originated the data (not necessarily the member
+    /// currently retransmitting it).
+    pub source: SourceId,
+    /// The page the data belongs to.
+    pub page: PageId,
+    /// Sequence number within `(source, page)`.
+    pub seq: SeqNo,
+}
+
+impl SeqNo {
+    /// The first sequence number.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// The next sequence number.
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+}
+
+impl PageId {
+    /// Convenience constructor.
+    pub fn new(creator: SourceId, number: u32) -> Self {
+        PageId { creator, number }
+    }
+}
+
+impl AduName {
+    /// Convenience constructor.
+    pub fn new(source: SourceId, page: PageId, seq: SeqNo) -> Self {
+        AduName { source, page, seq }
+    }
+}
+
+impl fmt::Debug for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/p{}", self.creator, self.number)
+    }
+}
+
+impl fmt::Debug for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Debug for AduName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // e.g. "floyd:5" style from the paper, extended with the page.
+        write!(f, "{}:{:?}:{}", self.source, self.page, self.seq.0)
+    }
+}
+
+impl fmt::Display for AduName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqno_next() {
+        assert_eq!(SeqNo::ZERO.next(), SeqNo(1));
+        assert_eq!(SeqNo(41).next(), SeqNo(42));
+    }
+
+    #[test]
+    fn name_ordering_is_lexicographic() {
+        let p = PageId::new(SourceId(1), 0);
+        let a = AduName::new(SourceId(1), p, SeqNo(5));
+        let b = AduName::new(SourceId(1), p, SeqNo(6));
+        let c = AduName::new(SourceId(2), p, SeqNo(0));
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn names_hash_and_compare_by_value() {
+        use std::collections::HashSet;
+        let p = PageId::new(SourceId(3), 7);
+        let mut set = HashSet::new();
+        set.insert(AduName::new(SourceId(3), p, SeqNo(1)));
+        assert!(set.contains(&AduName::new(SourceId(3), p, SeqNo(1))));
+        assert!(!set.contains(&AduName::new(SourceId(3), p, SeqNo(2))));
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = PageId::new(SourceId(3), 7);
+        let n = AduName::new(SourceId(3), p, SeqNo(1));
+        assert_eq!(format!("{n}"), "s3:s3/p7:1");
+    }
+}

@@ -1,0 +1,134 @@
+//! Prioritized send queue (Section III-E).
+//!
+//! "When a member of a wb session is able to send a packet, the highest
+//! priority goes to requests or repairs for the current page, middle
+//! priority to new data, and lowest priority to requests or repairs for
+//! previous pages." The queue is drained by the agent as the token-bucket
+//! rate limiter permits.
+
+use crate::wire::Body;
+use netsim::SendOptions;
+use std::collections::VecDeque;
+
+/// Priority classes, highest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SendClass {
+    /// Requests/repairs for the page currently being viewed.
+    CurrentPageRecovery = 0,
+    /// Newly originated data.
+    NewData = 1,
+    /// Requests/repairs for previous pages.
+    OldPageRecovery = 2,
+}
+
+/// A message waiting to be transmitted; the header timestamp is stamped at
+/// actual send time.
+#[derive(Clone, Debug)]
+pub struct PendingSend {
+    /// Destination multicast group (usually the session group; a recovery
+    /// group for Section VII-B2 local recovery).
+    pub group: netsim::GroupId,
+    /// Message body.
+    pub body: Body,
+    /// Network send options (TTL, scope, flow).
+    pub opts: SendOptions,
+    /// Accounting size in bytes.
+    pub size: u32,
+}
+
+/// Three-level strict-priority FIFO.
+#[derive(Clone, Debug, Default)]
+pub struct SendQueue {
+    queues: [VecDeque<PendingSend>; 3],
+}
+
+impl SendQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue under a class.
+    pub fn push(&mut self, class: SendClass, msg: PendingSend) {
+        self.queues[class as usize].push_back(msg);
+    }
+
+    /// Size in bytes of the next message that would be sent.
+    pub fn peek_size(&self) -> Option<u32> {
+        self.queues
+            .iter()
+            .find_map(|q| q.front().map(|m| m.size))
+    }
+
+    /// Dequeue the highest-priority message.
+    pub fn pop(&mut self) -> Option<PendingSend> {
+        self.queues.iter_mut().find_map(|q| q.pop_front())
+    }
+
+    /// Total queued messages.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{AduName, PageId, SeqNo, SourceId};
+    use crate::wire::RequestBody;
+
+    fn msg(tag: u64, size: u32) -> PendingSend {
+        PendingSend {
+            group: netsim::GroupId(0),
+            body: Body::Request(RequestBody {
+                name: AduName::new(SourceId(tag), PageId::new(SourceId(0), 0), SeqNo(0)),
+                dist_to_source: 0.0,
+            }),
+            opts: SendOptions::default(),
+            size,
+        }
+    }
+
+    fn tag_of(m: &PendingSend) -> u64 {
+        match &m.body {
+            Body::Request(r) => r.name.source.0,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn strict_priority_order() {
+        let mut q = SendQueue::new();
+        q.push(SendClass::NewData, msg(2, 10));
+        q.push(SendClass::OldPageRecovery, msg(3, 10));
+        q.push(SendClass::CurrentPageRecovery, msg(1, 10));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|m| tag_of(&m)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut q = SendQueue::new();
+        q.push(SendClass::NewData, msg(1, 10));
+        q.push(SendClass::NewData, msg(2, 10));
+        assert_eq!(tag_of(&q.pop().unwrap()), 1);
+        assert_eq!(tag_of(&q.pop().unwrap()), 2);
+    }
+
+    #[test]
+    fn peek_size_tracks_head() {
+        let mut q = SendQueue::new();
+        assert_eq!(q.peek_size(), None);
+        q.push(SendClass::NewData, msg(1, 42));
+        q.push(SendClass::CurrentPageRecovery, msg(2, 7));
+        assert_eq!(q.peek_size(), Some(7));
+        q.pop();
+        assert_eq!(q.peek_size(), Some(42));
+        assert_eq!(q.len(), 1);
+    }
+}

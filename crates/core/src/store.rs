@@ -1,0 +1,293 @@
+//! The ADU store: what this member has received or originated.
+//!
+//! Data is held per `(source, page)` stream as a map from sequence number to
+//! payload. The store answers the three questions loss recovery needs:
+//! *do I have this name?* (so I can answer a request), *what is the highest
+//! sequence I know of per stream?* (for session messages), and *which
+//! sequence numbers am I missing?* (gap detection).
+//!
+//! "This does not require that all session members keep all of the data all
+//! of the time" — a retention limit can evict old ADUs; reliability only
+//! needs each item to survive *somewhere* in the session.
+
+use crate::name::{AduName, PageId, SeqNo, SourceId};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// One `(source, page)` stream.
+#[derive(Clone, Debug, Default)]
+struct Stream {
+    /// Received payloads by sequence number.
+    data: BTreeMap<SeqNo, Bytes>,
+    /// Highest sequence number known to exist (from data or session
+    /// messages), even if not yet received.
+    highest_known: Option<SeqNo>,
+}
+
+/// Per-member data store.
+#[derive(Clone, Debug)]
+pub struct AduStore {
+    streams: BTreeMap<(SourceId, PageId), Stream>,
+    /// If set, keep at most this many ADUs per stream, evicting the lowest
+    /// sequence numbers first.
+    pub retention_per_stream: Option<usize>,
+    /// Upper bound on how many missing names a single sequence-number jump
+    /// may enumerate. A corrupt (or hostile) packet claiming seq 2⁶²
+    /// would otherwise make gap detection materialize billions of request
+    /// states; with the cap, only the *newest* `gap_cap` holes are chased.
+    /// Legitimate gaps are orders of magnitude smaller.
+    pub gap_cap: u64,
+}
+
+impl Default for AduStore {
+    fn default() -> Self {
+        AduStore {
+            streams: BTreeMap::new(),
+            retention_per_stream: None,
+            gap_cap: 4096,
+        }
+    }
+}
+
+impl AduStore {
+    /// Empty store with unlimited retention.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a payload under `name`. Returns `true` if it was new.
+    ///
+    /// Re-insertion under the same name is idempotent and keeps the first
+    /// payload: "the name always refers to the same data".
+    pub fn insert(&mut self, name: AduName, payload: Bytes) -> bool {
+        let s = self.streams.entry((name.source, name.page)).or_default();
+        let fresh = !s.data.contains_key(&name.seq);
+        if fresh {
+            s.data.insert(name.seq, payload);
+            if s.highest_known.is_none_or(|h| name.seq > h) {
+                s.highest_known = Some(name.seq);
+            }
+            if let Some(limit) = self.retention_per_stream {
+                while s.data.len() > limit {
+                    let oldest = *s.data.keys().next().expect("nonempty");
+                    s.data.remove(&oldest);
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Do we hold the payload for `name`?
+    pub fn has(&self, name: &AduName) -> bool {
+        self.streams
+            .get(&(name.source, name.page))
+            .is_some_and(|s| s.data.contains_key(&name.seq))
+    }
+
+    /// Retrieve the payload for `name`, if held.
+    pub fn get(&self, name: &AduName) -> Option<Bytes> {
+        self.streams
+            .get(&(name.source, name.page))
+            .and_then(|s| s.data.get(&name.seq))
+            .cloned()
+    }
+
+    /// Record that sequence numbers up to `seq` exist on `(source, page)`
+    /// (learned from a data arrival or a session message). Returns the list
+    /// of sequence numbers that are now known missing — i.e. the newly
+    /// detected gap, ascending.
+    ///
+    /// Jumps larger than [`AduStore::gap_cap`] report only the newest
+    /// `gap_cap` holes (bounded resource use under corruption; see the
+    /// field's documentation).
+    pub fn note_exists(&mut self, source: SourceId, page: PageId, seq: SeqNo) -> Vec<AduName> {
+        let s = self.streams.entry((source, page)).or_default();
+        let prev = s.highest_known;
+        if prev.is_none_or(|h| seq > h) {
+            s.highest_known = Some(seq);
+        }
+        // Newly discovered names: (prev, seq]; missing = those not held.
+        let mut start = match prev {
+            None => 0,
+            Some(h) => h.0.saturating_add(1),
+        };
+        if start > seq.0 {
+            return Vec::new();
+        }
+        let span = seq.0 - start + 1;
+        if span > self.gap_cap {
+            start = seq.0 - self.gap_cap + 1;
+        }
+        (start..=seq.0)
+            .map(SeqNo)
+            .filter(|q| !s.data.contains_key(q))
+            .map(|q| AduName::new(source, page, q))
+            .collect()
+    }
+
+    /// Highest sequence number known to exist on `(source, page)`.
+    pub fn highest_known(&self, source: SourceId, page: PageId) -> Option<SeqNo> {
+        self.streams.get(&(source, page)).and_then(|s| s.highest_known)
+    }
+
+    /// Every name known to exist but not held, across all streams of `page`
+    /// (the newest [`AduStore::gap_cap`] per stream, for bounded output).
+    pub fn missing_on_page(&self, page: PageId) -> Vec<AduName> {
+        let mut out = Vec::new();
+        for ((src, pg), s) in &self.streams {
+            if *pg != page {
+                continue;
+            }
+            if let Some(h) = s.highest_known {
+                let start = (h.0 + 1).saturating_sub(self.gap_cap);
+                for q in start..=h.0 {
+                    if !s.data.contains_key(&SeqNo(q)) {
+                        out.push(AduName::new(*src, *pg, SeqNo(q)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The session-message state report for `page`: highest sequence known
+    /// per active source (Section III-A). Sorted by source.
+    pub fn page_state(&self, page: PageId) -> Vec<(SourceId, SeqNo)> {
+        self.streams
+            .iter()
+            .filter(|((_, pg), _)| *pg == page)
+            .filter_map(|((src, _), s)| s.highest_known.map(|h| (*src, h)))
+            .collect()
+    }
+
+    /// All pages this store has streams for, ascending, deduplicated.
+    pub fn known_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.streams.keys().map(|&(_, p)| p).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+
+    /// Count of ADUs held across all streams.
+    pub fn len(&self) -> usize {
+        self.streams.values().map(|s| s.data.len()).sum()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: SourceId = SourceId(1);
+
+    fn page() -> PageId {
+        PageId::new(SRC, 0)
+    }
+
+    fn n(seq: u64) -> AduName {
+        AduName::new(SRC, page(), SeqNo(seq))
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut st = AduStore::new();
+        assert!(st.insert(n(0), Bytes::from_static(b"a")));
+        assert!(st.has(&n(0)));
+        assert_eq!(st.get(&n(0)).unwrap(), Bytes::from_static(b"a"));
+        assert!(!st.has(&n(1)));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent_and_keeps_first() {
+        let mut st = AduStore::new();
+        st.insert(n(0), Bytes::from_static(b"first"));
+        assert!(!st.insert(n(0), Bytes::from_static(b"second")));
+        assert_eq!(st.get(&n(0)).unwrap(), Bytes::from_static(b"first"));
+    }
+
+    #[test]
+    fn gap_detection_on_data_arrival() {
+        let mut st = AduStore::new();
+        st.insert(n(0), Bytes::new());
+        let missing = st.note_exists(SRC, page(), SeqNo(3));
+        assert_eq!(missing, vec![n(1), n(2), n(3)]);
+        // A later note for the same high water mark reports nothing new.
+        assert!(st.note_exists(SRC, page(), SeqNo(3)).is_empty());
+    }
+
+    #[test]
+    fn gap_detection_from_scratch_includes_seq_zero() {
+        let mut st = AduStore::new();
+        // Session message says seq 2 exists; we have nothing.
+        let missing = st.note_exists(SRC, page(), SeqNo(2));
+        assert_eq!(missing, vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn missing_on_page_reflects_holes() {
+        let mut st = AduStore::new();
+        st.insert(n(0), Bytes::new());
+        st.insert(n(2), Bytes::new());
+        st.note_exists(SRC, page(), SeqNo(4));
+        assert_eq!(st.missing_on_page(page()), vec![n(1), n(3), n(4)]);
+    }
+
+    #[test]
+    fn page_state_reports_highest_known() {
+        let mut st = AduStore::new();
+        st.insert(n(0), Bytes::new());
+        st.note_exists(SRC, page(), SeqNo(5));
+        let other = SourceId(2);
+        st.insert(AduName::new(other, page(), SeqNo(7)), Bytes::new());
+        let mut state = st.page_state(page());
+        state.sort();
+        assert_eq!(state, vec![(SRC, SeqNo(5)), (other, SeqNo(7))]);
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut st = AduStore::new();
+        st.retention_per_stream = Some(2);
+        st.insert(n(0), Bytes::new());
+        st.insert(n(1), Bytes::new());
+        st.insert(n(2), Bytes::new());
+        assert!(!st.has(&n(0)));
+        assert!(st.has(&n(1)));
+        assert!(st.has(&n(2)));
+        // highest_known is unaffected by eviction.
+        assert_eq!(st.highest_known(SRC, page()), Some(SeqNo(2)));
+    }
+
+    #[test]
+    fn gap_cap_bounds_enumeration() {
+        let mut st = AduStore::new();
+        st.gap_cap = 10;
+        // A corrupt claim of seq 2^40 yields only the newest 10 names.
+        let missing = st.note_exists(SRC, page(), SeqNo(1 << 40));
+        assert_eq!(missing.len(), 10);
+        assert_eq!(missing.last().unwrap().seq, SeqNo(1 << 40));
+        assert_eq!(missing.first().unwrap().seq, SeqNo((1 << 40) - 9));
+        // missing_on_page is bounded the same way.
+        assert_eq!(st.missing_on_page(page()).len(), 10);
+        // Subsequent small jumps behave normally.
+        let more = st.note_exists(SRC, page(), SeqNo((1 << 40) + 2));
+        assert_eq!(more.len(), 2);
+    }
+
+    #[test]
+    fn known_pages_lists_all() {
+        let mut st = AduStore::new();
+        let p0 = PageId::new(SRC, 0);
+        let p1 = PageId::new(SRC, 1);
+        st.insert(AduName::new(SRC, p0, SeqNo(0)), Bytes::new());
+        st.insert(AduName::new(SRC, p1, SeqNo(0)), Bytes::new());
+        st.insert(AduName::new(SourceId(9), p1, SeqNo(0)), Bytes::new());
+        assert_eq!(st.known_pages(), vec![p0, p1]);
+    }
+}

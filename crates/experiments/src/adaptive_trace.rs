@@ -1,0 +1,116 @@
+//! Sample trajectories of the adaptive timer parameters (Section VII-A:
+//! "Sample trajectories of the loss recovery algorithms confirm that the
+//! variations from the random component of the timer algorithms dominate
+//! the behavior of the algorithms, minimizing the effect of oscillations").
+//!
+//! We run the Fig 13 scenario and log, per round, the median C1/C2/D1/D2
+//! across the downstream members (the ones adapting), alongside that
+//! round's duplicate counts — showing the parameters walking toward their
+//! equilibrium and then wandering gently instead of oscillating.
+
+use crate::fig4;
+use crate::fig12::GROUP;
+use crate::round::run_round;
+use crate::table::{f, Table};
+use crate::RunOpts;
+use srm::SrmConfig;
+
+/// One round's snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRow {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Median request-interval start multiplier across adapting members.
+    pub c1: f64,
+    /// Median request-interval width multiplier.
+    pub c2: f64,
+    /// Median repair-interval start multiplier.
+    pub d1: f64,
+    /// Median repair-interval width multiplier.
+    pub d2: f64,
+    /// Requests this round.
+    pub requests: u64,
+    /// Repairs this round.
+    pub repairs: u64,
+}
+
+/// Run one trajectory.
+pub fn trace(opts: &RunOpts) -> Vec<TraceRow> {
+    let rounds = if opts.quick { 30 } else { 100 };
+    let mut spec = fig4::spec(GROUP, 3, SrmConfig::adaptive(GROUP));
+    spec.timer_seed = Some(0xadab);
+    let mut s = spec.build();
+    (1..=rounds)
+        .map(|round| {
+            let r = run_round(&mut s, 100_000.0);
+            assert!(r.all_recovered);
+            let median = |sel: &dyn Fn(srm::TimerParams) -> f64| -> f64 {
+                let mut v: Vec<f64> = s
+                    .downstream_members
+                    .iter()
+                    .map(|&m| sel(s.sim.app(m).unwrap().params()))
+                    .collect();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.get(v.len() / 2).copied().unwrap_or(0.0)
+            };
+            TraceRow {
+                round,
+                c1: median(&|p| p.c1),
+                c2: median(&|p| p.c2),
+                d1: median(&|p| p.d1),
+                d2: median(&|p| p.d2),
+                requests: r.requests,
+                repairs: r.repairs,
+            }
+        })
+        .collect()
+}
+
+/// The trajectory table.
+pub fn run(opts: &RunOpts) -> Vec<Table> {
+    let mut t = Table::new(
+        "adaptive-trace: median timer parameters per round (Fig 13 scenario)",
+        &["round", "C1", "C2", "D1", "D2", "requests", "repairs"],
+    );
+    for r in trace(opts) {
+        t.row(vec![
+            r.round.to_string(),
+            f(r.c1),
+            f(r.c2),
+            f(r.d1),
+            f(r.d2),
+            r.requests.to_string(),
+            r.repairs.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_converge_without_oscillating() {
+        let rows = trace(&RunOpts {
+            quick: true,
+            threads: 1,
+        });
+        // Parameters stay clamped at all times.
+        for r in &rows {
+            assert!(r.c1 >= 0.5 && r.c1 <= 2.0 + 1e-9, "round {}: C1={}", r.round, r.c1);
+            assert!(r.c2 >= 1.0 && r.c2 <= 64.0 + 1e-9, "round {}: C2={}", r.round, r.c2);
+        }
+        // Late-phase C2 moves are small per round (no oscillation): compare
+        // consecutive deltas over the last third.
+        let tail = &rows[rows.len() * 2 / 3..];
+        for w in tail.windows(2) {
+            let delta = (w[1].c2 - w[0].c2).abs();
+            assert!(delta <= 1.0, "C2 step {delta} at round {}", w[1].round);
+        }
+        // Duplicates in the tail are controlled.
+        let tail_requests: f64 =
+            tail.iter().map(|r| r.requests as f64).sum::<f64>() / tail.len() as f64;
+        assert!(tail_requests <= 4.0, "tail requests {tail_requests}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig 14: the adaptive algorithm at round 40, across the same scenario
+//! sweep as Fig 4 (1000-node degree-4 tree, sparse sessions, random
+//! congested link).
+//!
+//! "For each scenario … the adaptive algorithm is run repeatedly for 40
+//! loss recovery rounds, and Fig. 14 shows the results from the 40th loss
+//! recovery round. Comparing Figs. 4 and 14 shows that the adaptive
+//! algorithm is effective in controlling the number of duplicates over a
+//! range of scenarios."
+
+use crate::fig3::{tables, Sample};
+use crate::fig4;
+use crate::par::parallel_map;
+use crate::round::run_round;
+use crate::table::Table;
+use crate::RunOpts;
+use srm::SrmConfig;
+
+/// Rounds of adaptation before the measured round.
+pub fn rounds(opts: &RunOpts) -> usize {
+    if opts.quick {
+        15
+    } else {
+        40
+    }
+}
+
+/// Run all simulations: each scenario runs `rounds` rounds and reports the
+/// last one.
+pub fn samples(opts: &RunOpts) -> Vec<Sample> {
+    let sims = if opts.quick { 4 } else { 20 };
+    let n_rounds = rounds(opts);
+    let mut inputs = Vec::new();
+    for size in fig4::sizes(opts) {
+        for rep in 0..sims {
+            inputs.push((size, rep as u64));
+        }
+    }
+    parallel_map(inputs, opts.threads, move |(size, rep)| {
+        let mut s = fig4::spec(size, rep, SrmConfig::adaptive(size)).build();
+        let mut last = None;
+        for _ in 0..n_rounds {
+            let r = run_round(&mut s, 100_000.0);
+            assert!(r.all_recovered);
+            let delay = r.last_member_delay_over_rtt(&s).unwrap_or(0.0);
+            last = Some(Sample {
+                size,
+                requests: r.requests,
+                repairs: r.repairs,
+                delay_over_rtt: delay,
+            });
+        }
+        last.expect("at least one round")
+    })
+}
+
+/// Produce the figure's panels.
+pub fn run(opts: &RunOpts) -> Vec<Table> {
+    let all = samples(opts);
+    tables(
+        "fig14",
+        "adaptive algorithm, round 40, sparse sessions in 1000-node tree",
+        &all,
+        &fig4::sizes(opts),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_controls_duplicates_across_sweep() {
+        let opts = RunOpts {
+            quick: true,
+            threads: 8,
+        };
+        let adapted = samples(&opts);
+        let baseline = fig4::samples(&opts);
+        let mean = |v: &[Sample], sel: &dyn Fn(&Sample) -> f64| {
+            v.iter().map(sel).sum::<f64>() / v.len().max(1) as f64
+        };
+        let adapted_dups = mean(&adapted, &|s| (s.requests + s.repairs) as f64);
+        let baseline_dups = mean(&baseline, &|s| (s.requests + s.repairs) as f64);
+        assert!(
+            adapted_dups <= baseline_dups + 0.5,
+            "round-40 adaptive dups {adapted_dups} vs fixed {baseline_dups}"
+        );
+    }
+}

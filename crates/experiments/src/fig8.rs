@@ -1,0 +1,64 @@
+//! Fig 8: the delay-vs-duplicates tradeoff for a *sparse* session in a tree
+//! topology — 100 members scattered in a 1000-node degree-4 tree.
+//!
+//! Paper shape: "The only simulations … that give unacceptably large
+//! numbers of requests are those with small values for C2 on stars or for
+//! sparse sessions on trees. For these scenarios, increasing C2 reduces the
+//! number of duplicate requests, accompanied by moderate increases in the
+//! loss recovery delay."
+
+use crate::fig7::{points, render, Point};
+use crate::scenario::TopoSpec;
+use crate::table::Table;
+use crate::RunOpts;
+
+/// Run the sweep.
+pub fn sparse_points(opts: &RunOpts) -> Vec<Point> {
+    let (n, g) = if opts.quick { (300, 30) } else { (1000, 100) };
+    points(
+        opts,
+        TopoSpec::BoundedTree { n, degree: 4 },
+        Some(g),
+        0x0800_0000,
+    )
+}
+
+/// The figure as tables.
+pub fn run(opts: &RunOpts) -> Vec<Table> {
+    render(
+        "fig8: sparse session (G=100 in 1000-node degree-4 tree)",
+        &sparse_points(opts),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig7::HOPS;
+
+    #[test]
+    fn increasing_c2_cuts_requests_in_sparse_trees() {
+        let opts = RunOpts {
+            quick: true,
+            threads: 4,
+        };
+        let pts = sparse_points(&opts);
+        for &h in &HOPS {
+            let line: Vec<&Point> = pts.iter().filter(|p| p.hops == h).collect();
+            let lo = line
+                .iter()
+                .filter(|p| p.c2 <= 1.0)
+                .map(|p| p.requests)
+                .fold(0.0, f64::max);
+            let hi = line
+                .iter()
+                .filter(|p| p.c2 >= 40.0)
+                .map(|p| p.requests)
+                .fold(f64::MAX, f64::min);
+            assert!(
+                hi <= lo,
+                "hops={h}: requests at large C2 ({hi}) <= at small C2 ({lo})"
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! CLI: regenerate the SRM paper's figures.
+//!
+//! ```text
+//! srm-experiments all [--quick] [--out results/]
+//! srm-experiments fig3 fig5 --quick
+//! srm-experiments list
+//! ```
+
+use srm_experiments::{run_figure, RunOpts, FIGURES};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = RunOpts::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut figures: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "-q" => opts.quick = true,
+            "--threads" | "-j" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.threads);
+            }
+            "--out" | "-o" => {
+                out_dir = it.next().map(PathBuf::from);
+            }
+            "list" => {
+                for f in FIGURES {
+                    println!("{f}");
+                }
+                return;
+            }
+            "all" => figures.extend(FIGURES.iter().map(|s| s.to_string())),
+            other if FIGURES.contains(&other) => figures.push(other.to_string()),
+            other => {
+                eprintln!("unknown figure or flag: {other}");
+                eprintln!("usage: srm-experiments <all|list|{}> [--quick] [--threads N] [--out DIR]",
+                          FIGURES.join("|"));
+                std::process::exit(2);
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures.extend(FIGURES.iter().map(|s| s.to_string()));
+    }
+    figures.dedup();
+
+    for fig in &figures {
+        let t0 = Instant::now();
+        eprintln!("--- running {fig}{} ---", if opts.quick { " (quick)" } else { "" });
+        let tables = run_figure(fig, &opts).expect("figure name pre-validated");
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render());
+            if let Some(dir) = &out_dir {
+                let name = if tables.len() == 1 {
+                    fig.clone()
+                } else {
+                    format!("{fig}_{}", (b'a' + i as u8) as char)
+                };
+                if let Err(e) = t.write_csv(dir, &name) {
+                    eprintln!("warning: could not write {name}.csv: {e}");
+                }
+            }
+        }
+        eprintln!("--- {fig} done in {:.1}s ---", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,140 @@
+//! Channel effects beyond loss: duplication and reordering jitter.
+//!
+//! SRM "requires only the basic IP delivery model — best-effort with
+//! possible duplication and reordering of packets" (Section I). These
+//! models let tests and experiments exercise exactly that: a packet
+//! crossing a link may be duplicated, and its delivery may be jittered so
+//! that packets overtake one another.
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-hop channel effects applied after the loss decision.
+pub trait ChannelEffects {
+    /// How many copies of the packet cross the link (1 = normal). 0 is not
+    /// produced here — dropping is the loss model's job.
+    fn copies(&mut self, now: SimTime, link: LinkId, from: NodeId, to: NodeId, pkt: &Packet)
+        -> u32;
+
+    /// Extra delay added to one copy's delivery (enables reordering when it
+    /// varies per copy/packet).
+    fn jitter(&mut self, now: SimTime, link: LinkId, from: NodeId, to: NodeId, pkt: &Packet)
+        -> SimDuration;
+}
+
+/// The default: one copy, no jitter.
+#[derive(Clone, Debug, Default)]
+pub struct Ideal;
+
+impl ChannelEffects for Ideal {
+    fn copies(&mut self, _: SimTime, _: LinkId, _: NodeId, _: NodeId, _: &Packet) -> u32 {
+        1
+    }
+    fn jitter(&mut self, _: SimTime, _: LinkId, _: NodeId, _: NodeId, _: &Packet) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// Independent per-hop duplication with probability `p`, and uniform jitter
+/// in `[0, max_jitter]` per delivered copy.
+#[derive(Clone, Debug)]
+pub struct RandomEffects {
+    /// Probability a crossing is duplicated (two copies instead of one).
+    pub dup_p: f64,
+    /// Maximum uniform jitter added per copy.
+    pub max_jitter: SimDuration,
+    rng: StdRng,
+}
+
+impl RandomEffects {
+    /// Duplication probability `dup_p`, jitter up to `max_jitter`.
+    pub fn new(dup_p: f64, max_jitter: SimDuration, seed: u64) -> Self {
+        RandomEffects {
+            dup_p,
+            max_jitter,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ChannelEffects for RandomEffects {
+    fn copies(&mut self, _: SimTime, _: LinkId, _: NodeId, _: NodeId, _: &Packet) -> u32 {
+        if self.dup_p > 0.0 && self.rng.random_bool(self.dup_p) {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn jitter(&mut self, _: SimTime, _: LinkId, _: NodeId, _: NodeId, _: &Packet) -> SimDuration {
+        if self.max_jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            let f: f64 = self.rng.random_range(0.0..1.0);
+            self.max_jitter.mul_f64(f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{flow, GroupId, PacketId};
+    use bytes::Bytes;
+
+    fn pkt() -> Packet {
+        Packet {
+            id: PacketId(0),
+            src: NodeId(0),
+            group: GroupId(0),
+            dest: None,
+            ttl: 10,
+            initial_ttl: 10,
+            admin_scoped: false,
+            flow: flow::DATA,
+            size: 1,
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn ideal_is_transparent() {
+        let mut e = Ideal;
+        assert_eq!(
+            e.copies(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &pkt()),
+            1
+        );
+        assert!(e
+            .jitter(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &pkt())
+            .is_zero());
+    }
+
+    #[test]
+    fn duplication_rate_is_roughly_p() {
+        let mut e = RandomEffects::new(0.25, SimDuration::ZERO, 42);
+        let mut dups = 0;
+        for _ in 0..10_000 {
+            if e.copies(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &pkt()) == 2 {
+                dups += 1;
+            }
+        }
+        let rate = dups as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut e = RandomEffects::new(0.0, SimDuration::from_millis(500), 7);
+        for _ in 0..1000 {
+            let j = e.jitter(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &pkt());
+            assert!(j <= SimDuration::from_millis(500));
+        }
+        // And it actually varies.
+        let a = e.jitter(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &pkt());
+        let b = e.jitter(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &pkt());
+        assert!(a != b || !a.is_zero());
+    }
+}

@@ -1,0 +1,161 @@
+//! The deterministic event queue.
+//!
+//! A binary min-heap ordered by `(time, sequence)`: events scheduled for the
+//! same instant fire in the order they were scheduled, so a simulation is a
+//! pure function of its inputs and seed.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle for a scheduled timer, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub enum EventKind {
+    /// A packet arrives at `node` (having crossed `via`, or `None` when the
+    /// packet originates locally, i.e. loopback of a just-sent packet into
+    /// the forwarding engine).
+    Hop {
+        /// Receiving node.
+        node: NodeId,
+        /// Link just crossed, if any.
+        via: Option<LinkId>,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A timer set by the application on `node` fires.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Cancellation handle.
+        id: TimerId,
+        /// Application-interpreted token.
+        token: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Order by (time, seq) only; EventKind does not participate.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Time-ordered, insertion-stable event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, kind }));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.kind))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node),
+            id: TimerId(token),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), timer(0, 3));
+        q.schedule(SimTime::from_secs(1), timer(0, 1));
+        q.schedule(SimTime::from_secs(2), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_secs(5), timer(0, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_secs(9), timer(0, 0));
+        q.schedule(SimTime::from_secs(4), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(9)));
+    }
+}

@@ -1,0 +1,300 @@
+//! Loss models: where and when packets are dropped.
+//!
+//! The paper's evaluation drops exactly one data packet per loss-recovery
+//! round on a chosen "congested link" ([`OneShotLinkDrop`], reset each
+//! round). For robustness testing we also provide per-link Bernoulli loss
+//! and fully scripted drops.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides the fate of each packet crossing each link.
+pub trait LossModel {
+    /// Return `true` to drop the packet on this hop. `from` → `to` gives the
+    /// traversal direction across `link`.
+    fn should_drop(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        from: NodeId,
+        to: NodeId,
+        pkt: &Packet,
+    ) -> bool;
+}
+
+/// Never drops anything.
+#[derive(Clone, Debug, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn should_drop(&mut self, _: SimTime, _: LinkId, _: NodeId, _: NodeId, _: &Packet) -> bool {
+        false
+    }
+}
+
+/// Drops the next packet of a given flow class from a given source that
+/// traverses the configured link, then lets everything through until
+/// re-armed.
+///
+/// This is the paper's per-round drop: "the first packet from source S is
+/// dropped by link L" (Section V). Re-arm with [`OneShotLinkDrop::arm`]
+/// at the start of each loss-recovery round.
+#[derive(Clone, Debug)]
+pub struct OneShotLinkDrop {
+    /// The congested link.
+    pub link: LinkId,
+    /// Only packets originated by this node are candidates.
+    pub src: NodeId,
+    /// Only packets of this flow class are candidates.
+    pub flow: u32,
+    armed: bool,
+    /// Count of packets dropped so far (across all armings).
+    pub drops: u64,
+}
+
+impl OneShotLinkDrop {
+    /// Create armed.
+    pub fn new(link: LinkId, src: NodeId, flow: u32) -> Self {
+        OneShotLinkDrop {
+            link,
+            src,
+            flow,
+            armed: true,
+            drops: 0,
+        }
+    }
+
+    /// Re-arm for the next round.
+    pub fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Whether the drop is still pending.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+impl LossModel for OneShotLinkDrop {
+    fn should_drop(
+        &mut self,
+        _now: SimTime,
+        link: LinkId,
+        _from: NodeId,
+        _to: NodeId,
+        pkt: &Packet,
+    ) -> bool {
+        if self.armed && link == self.link && pkt.src == self.src && pkt.flow == self.flow {
+            self.armed = false;
+            self.drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Independent Bernoulli loss on selected links (or all links), with its own
+/// seeded RNG so simulations stay deterministic.
+#[derive(Clone, Debug)]
+pub struct BernoulliLoss {
+    /// Per-link drop probability applied when `links` is `None` or contains
+    /// the link.
+    pub p: f64,
+    /// Restrict to these links; `None` = every link.
+    pub links: Option<Vec<LinkId>>,
+    /// Exempt flows (e.g. keep session messages lossless in a test).
+    pub exempt_flows: Vec<u32>,
+    rng: StdRng,
+}
+
+impl BernoulliLoss {
+    /// Loss with probability `p` on every link.
+    pub fn everywhere(p: f64, seed: u64) -> Self {
+        BernoulliLoss {
+            p,
+            links: None,
+            exempt_flows: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Loss with probability `p` on the given links only.
+    pub fn on_links(p: f64, links: Vec<LinkId>, seed: u64) -> Self {
+        BernoulliLoss {
+            p,
+            links: Some(links),
+            exempt_flows: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LossModel for BernoulliLoss {
+    fn should_drop(
+        &mut self,
+        _now: SimTime,
+        link: LinkId,
+        _from: NodeId,
+        _to: NodeId,
+        pkt: &Packet,
+    ) -> bool {
+        if self.exempt_flows.contains(&pkt.flow) {
+            return false;
+        }
+        if let Some(links) = &self.links {
+            if !links.contains(&link) {
+                return false;
+            }
+        }
+        self.rng.random_bool(self.p)
+    }
+}
+
+/// Drops the n-th, m-th, … packet (1-based, counted per link) crossing
+/// configured links. Fully scripted and deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedDrop {
+    /// (link, 1-based packet ordinal on that link) pairs to drop.
+    pub script: Vec<(LinkId, u64)>,
+    counts: std::collections::HashMap<LinkId, u64>,
+}
+
+impl ScriptedDrop {
+    /// Drop the `ordinals` (1-based) packets crossing `link`.
+    pub fn new(script: Vec<(LinkId, u64)>) -> Self {
+        ScriptedDrop {
+            script,
+            counts: Default::default(),
+        }
+    }
+}
+
+impl LossModel for ScriptedDrop {
+    fn should_drop(
+        &mut self,
+        _now: SimTime,
+        link: LinkId,
+        _from: NodeId,
+        _to: NodeId,
+        _pkt: &Packet,
+    ) -> bool {
+        let c = self.counts.entry(link).or_insert(0);
+        *c += 1;
+        let ordinal = *c;
+        self.script.iter().any(|&(l, o)| l == link && o == ordinal)
+    }
+}
+
+/// Combine several loss models; a packet is dropped if any model drops it.
+pub struct Composite(pub Vec<Box<dyn LossModel>>);
+
+impl LossModel for Composite {
+    fn should_drop(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        from: NodeId,
+        to: NodeId,
+        pkt: &Packet,
+    ) -> bool {
+        // Evaluate all models so scripted counters stay in sync.
+        let mut drop = false;
+        for m in &mut self.0 {
+            drop |= m.should_drop(now, link, from, to, pkt);
+        }
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{flow, GroupId, PacketId};
+    use bytes::Bytes;
+
+    fn pkt(src: u32, fl: u32) -> Packet {
+        Packet {
+            id: PacketId(0),
+            src: NodeId(src),
+            group: GroupId(0),
+            dest: None,
+            ttl: 255,
+            initial_ttl: 255,
+            admin_scoped: false,
+            flow: fl,
+            size: 10,
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn one_shot_drops_exactly_once() {
+        let mut m = OneShotLinkDrop::new(LinkId(3), NodeId(1), flow::DATA);
+        let p = pkt(1, flow::DATA);
+        assert!(!m.should_drop(SimTime::ZERO, LinkId(2), NodeId(0), NodeId(1), &p));
+        assert!(m.should_drop(SimTime::ZERO, LinkId(3), NodeId(0), NodeId(1), &p));
+        assert!(!m.should_drop(SimTime::ZERO, LinkId(3), NodeId(0), NodeId(1), &p));
+        m.arm();
+        assert!(m.should_drop(SimTime::ZERO, LinkId(3), NodeId(0), NodeId(1), &p));
+        assert_eq!(m.drops, 2);
+    }
+
+    #[test]
+    fn one_shot_ignores_other_flows_and_sources() {
+        let mut m = OneShotLinkDrop::new(LinkId(3), NodeId(1), flow::DATA);
+        let other_src = pkt(2, flow::DATA);
+        let other_flow = pkt(1, flow::SESSION);
+        assert!(!m.should_drop(SimTime::ZERO, LinkId(3), NodeId(0), NodeId(1), &other_src));
+        assert!(!m.should_drop(SimTime::ZERO, LinkId(3), NodeId(0), NodeId(1), &other_flow));
+        assert!(m.is_armed());
+    }
+
+    #[test]
+    fn bernoulli_rates_reasonable() {
+        let mut m = BernoulliLoss::everywhere(0.3, 42);
+        let p = pkt(0, flow::DATA);
+        let mut drops = 0;
+        for _ in 0..10_000 {
+            if m.should_drop(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &p) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn bernoulli_exemptions() {
+        let mut m = BernoulliLoss::everywhere(1.0, 1);
+        m.exempt_flows.push(flow::SESSION);
+        assert!(!m.should_drop(
+            SimTime::ZERO,
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            &pkt(0, flow::SESSION)
+        ));
+        assert!(m.should_drop(
+            SimTime::ZERO,
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            &pkt(0, flow::DATA)
+        ));
+    }
+
+    #[test]
+    fn scripted_drop_hits_exact_ordinals() {
+        let mut m = ScriptedDrop::new(vec![(LinkId(0), 2)]);
+        let p = pkt(0, flow::DATA);
+        assert!(!m.should_drop(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &p));
+        assert!(m.should_drop(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &p));
+        assert!(!m.should_drop(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &p));
+        // other link unaffected
+        assert!(!m.should_drop(SimTime::ZERO, LinkId(1), NodeId(0), NodeId(1), &p));
+    }
+}

@@ -1,0 +1,153 @@
+//! Packets: the unit of transmission.
+//!
+//! The simulator treats payloads as opaque [`bytes::Bytes`] — the protocol
+//! above (SRM) defines its own wire format, in keeping with the ALF
+//! principle that framing belongs to the application. The header carries
+//! exactly what an IP multicast datagram would: source, destination group,
+//! TTL (plus the paper's "initial TTL in a separate packet field" extension
+//! from Section VII-B3), an administrative-scope flag, and a size used for
+//! bandwidth accounting. A `flow` label distinguishes traffic classes for
+//! loss models and statistics without peeking into the payload.
+
+use crate::topology::NodeId;
+use bytes::Bytes;
+
+/// Multicast group address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+/// Application-assigned traffic class, used by loss models and statistics.
+///
+/// These are conventions, not enforced by the simulator.
+pub mod flow {
+    /// Original application data.
+    pub const DATA: u32 = 0;
+    /// Repair-request control traffic.
+    pub const REQUEST: u32 = 1;
+    /// Retransmitted data (repairs).
+    pub const REPAIR: u32 = 2;
+    /// Periodic session messages.
+    pub const SESSION: u32 = 3;
+    /// Proactive FEC parity packets.
+    pub const PARITY: u32 = 4;
+}
+
+/// Unique id assigned to every transmission, for tracing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketId(pub u64);
+
+/// Unlimited scope / default TTL for a global multicast.
+pub const TTL_GLOBAL: u8 = 255;
+
+/// A packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Unique transmission id.
+    pub id: PacketId,
+    /// The node that transmitted this packet (root of its distribution tree).
+    pub src: NodeId,
+    /// Destination multicast group.
+    pub group: GroupId,
+    /// Unicast destination; `None` for multicast (the normal case). Set by
+    /// [`crate::sim::Ctx::unicast`], used by the sender-based baseline
+    /// protocols the paper argues against (Section II-A).
+    pub dest: Option<NodeId>,
+    /// Remaining time-to-live; decremented at every hop.
+    pub ttl: u8,
+    /// The TTL the packet was originally sent with (carried in the packet so
+    /// receivers can compute the hop count, per Section VII-B3).
+    pub initial_ttl: u8,
+    /// If true, the packet is administratively scoped and is never forwarded
+    /// across a zone boundary (Section VII-B1).
+    pub admin_scoped: bool,
+    /// Traffic class (see [`flow`]).
+    pub flow: u32,
+    /// Size in bytes, for bandwidth accounting.
+    pub size: u32,
+    /// Opaque application payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Hops traversed so far, derived from the carried initial TTL.
+    pub fn hops_traveled(&self) -> u8 {
+        self.initial_ttl - self.ttl
+    }
+}
+
+/// Parameters for a multicast send, passed to
+/// [`crate::sim::Ctx::multicast_with`].
+#[derive(Clone, Debug)]
+pub struct SendOptions {
+    /// Initial TTL (default [`TTL_GLOBAL`]).
+    pub ttl: u8,
+    /// Administrative scoping (default off).
+    pub admin_scoped: bool,
+    /// Traffic class (default [`flow::DATA`]).
+    pub flow: u32,
+    /// Size in bytes for accounting; if 0, the payload length is used.
+    pub size: u32,
+}
+
+impl Default for SendOptions {
+    fn default() -> Self {
+        SendOptions {
+            ttl: TTL_GLOBAL,
+            admin_scoped: false,
+            flow: flow::DATA,
+            size: 0,
+        }
+    }
+}
+
+impl SendOptions {
+    /// Options for a traffic class with global scope.
+    pub fn for_flow(flow: u32) -> Self {
+        SendOptions {
+            flow,
+            ..Default::default()
+        }
+    }
+
+    /// Restrict the send to `ttl` hops.
+    pub fn with_ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Mark the send administratively scoped.
+    pub fn admin_scoped(mut self) -> Self {
+        self.admin_scoped = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_traveled() {
+        let p = Packet {
+            id: PacketId(1),
+            src: NodeId(0),
+            group: GroupId(0),
+            dest: None,
+            ttl: 250,
+            initial_ttl: 255,
+            admin_scoped: false,
+            flow: flow::DATA,
+            size: 100,
+            payload: Bytes::new(),
+        };
+        assert_eq!(p.hops_traveled(), 5);
+    }
+
+    #[test]
+    fn send_options_builder() {
+        let o = SendOptions::for_flow(flow::REQUEST).with_ttl(7).admin_scoped();
+        assert_eq!(o.flow, flow::REQUEST);
+        assert_eq!(o.ttl, 7);
+        assert!(o.admin_scoped);
+    }
+}

@@ -1,0 +1,336 @@
+//! Shortest-path routing and per-source multicast distribution trees.
+//!
+//! The paper assumes "messages are multicast to members of the multicast
+//! group along a shortest-path tree from the source of the message"
+//! (Section V). We compute, per transmitting node, a shortest-path tree
+//! (SPT) over the whole topology with deterministic tie-breaking (smallest
+//! parent node id), and forward hop by hop along it so that per-link loss,
+//! TTL thresholds, and scope boundaries apply at each hop exactly as they
+//! would in a real multicast routing substrate.
+
+use crate::time::SimDuration;
+use crate::topology::{LinkId, NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The shortest-path tree rooted at one node.
+#[derive(Clone, Debug)]
+pub struct SpTree {
+    /// The root (transmitting node).
+    pub root: NodeId,
+    /// Shortest-path distance from the root to each node
+    /// (`SimDuration::ZERO` for the root; unreachable nodes get `u64::MAX`
+    /// nanoseconds, which [`SpTree::reachable`] reports as `false`).
+    dist: Vec<SimDuration>,
+    /// For each node except the root: (parent node, link to parent).
+    parent: Vec<Option<(NodeId, LinkId)>>,
+    /// Children of each node in the tree, sorted by child id.
+    children: Vec<Vec<(NodeId, LinkId)>>,
+    /// Hop count from the root.
+    hops: Vec<u32>,
+}
+
+const UNREACHABLE: u64 = u64::MAX;
+
+impl SpTree {
+    /// Dijkstra from `root` with deterministic tie-breaking: among equal
+    /// distances, the path through the smaller parent id wins.
+    pub fn compute(topo: &Topology, root: NodeId) -> SpTree {
+        let n = topo.num_nodes();
+        let mut dist = vec![UNREACHABLE; n];
+        let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut hops = vec![0u32; n];
+        let mut settled = vec![false; n];
+        // Heap entries: (dist, node, parent, link, hop). Reverse for min-heap;
+        // ties break on smaller node id then smaller parent id, making the
+        // tree independent of insertion order.
+        let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u32, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((0, root.0, u32::MAX, u32::MAX, 0)));
+        while let Some(Reverse((d, v, p, l, h))) = heap.pop() {
+            let vi = v as usize;
+            if settled[vi] {
+                continue;
+            }
+            settled[vi] = true;
+            dist[vi] = d;
+            hops[vi] = h;
+            if p != u32::MAX {
+                parent[vi] = Some((NodeId(p), LinkId(l)));
+            }
+            for &(w, link) in topo.neighbors(NodeId(v)) {
+                if !settled[w.index()] {
+                    let nd = d + topo.link(link).delay.as_nanos();
+                    heap.push(Reverse((nd, w.0, v, link.0, h + 1)));
+                }
+            }
+        }
+        let mut children: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some((p, l)) = parent[v] {
+                children[p.index()].push((NodeId(v as u32), l));
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        SpTree {
+            root,
+            dist: dist
+                .into_iter()
+                .map(|d| {
+                    if d == UNREACHABLE {
+                        SimDuration::from_secs(u64::MAX / 2_000_000_000)
+                    } else {
+                        nanos(d)
+                    }
+                })
+                .collect(),
+            parent,
+            children,
+            hops,
+        }
+    }
+
+    /// Shortest-path delay from the root to `n`.
+    pub fn distance(&self, n: NodeId) -> SimDuration {
+        self.dist[n.index()]
+    }
+
+    /// Hop count from the root to `n`.
+    pub fn hop_count(&self, n: NodeId) -> u32 {
+        self.hops[n.index()]
+    }
+
+    /// Whether `n` was reached by the search.
+    pub fn reachable(&self, n: NodeId) -> bool {
+        n == self.root || self.parent[n.index()].is_some()
+    }
+
+    /// Children of `n` in the tree (sorted by id).
+    pub fn children(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.children[n.index()]
+    }
+
+    /// Parent of `n`, or `None` for the root / unreachable nodes.
+    pub fn parent(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
+        self.parent[n.index()]
+    }
+
+    /// The path from the root to `n` as a list of link ids.
+    pub fn path_links(&self, n: NodeId) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        while let Some((p, l)) = self.parent[cur.index()] {
+            out.push(l);
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Whether the tree path from the root to `n` traverses `link`.
+    pub fn path_uses_link(&self, n: NodeId, link: LinkId) -> bool {
+        let mut cur = n;
+        while let Some((p, l)) = self.parent[cur.index()] {
+            if l == link {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+
+    /// All nodes whose tree path from the root traverses `link` — i.e. the
+    /// set "downstream of the congested link" for this source. Sorted.
+    pub fn downstream_of(&self, link: LinkId) -> Vec<NodeId> {
+        let n = self.dist.len();
+        (0..n as u32)
+            .map(NodeId)
+            .filter(|&v| self.path_uses_link(v, link))
+            .collect()
+    }
+
+    /// The set of nodes a multicast from the root with initial TTL `ttl`
+    /// reaches, honoring per-link thresholds. We follow the mrouted
+    /// convention: a packet is forwarded across a link iff its current TTL
+    /// is at least the link's threshold (and nonzero), and the TTL is
+    /// decremented by the crossing (Section VII-B3). With all thresholds 1,
+    /// TTL `k` therefore reaches exactly the nodes within `k` hops.
+    pub fn ttl_reach(&self, topo: &Topology, ttl: u8) -> Vec<NodeId> {
+        let mut out = vec![self.root];
+        let mut stack = vec![(self.root, ttl)];
+        while let Some((v, t)) = stack.pop() {
+            for &(c, l) in self.children(v) {
+                if t >= 1 && t >= topo.link(l).threshold {
+                    out.push(c);
+                    stack.push((c, t - 1));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The minimum initial TTL needed for a multicast from the root to reach
+    /// `target`, or `None` if no TTL suffices (only possible with thresholds
+    /// above 255 semantics; with u8 thresholds 255 always suffices on paths
+    /// shorter than 255 hops).
+    pub fn min_ttl_to_reach(&self, topo: &Topology, target: NodeId) -> Option<u8> {
+        if target == self.root {
+            return Some(0);
+        }
+        if !self.reachable(target) {
+            return None;
+        }
+        // Walk the path; crossing the i-th link (1-based from the sender)
+        // the packet's TTL is ttl − (i−1), which must be ≥ threshold(l_i)
+        // and ≥ 1. So ttl ≥ max_i (max(threshold(l_i), 1) + i − 1).
+        let links = self.path_links(target);
+        let mut need = 0u32;
+        for (i, l) in links.iter().enumerate() {
+            need = need.max(topo.link(*l).threshold.max(1) as u32 + i as u32);
+        }
+        u8::try_from(need).ok()
+    }
+}
+
+fn nanos(n: u64) -> SimDuration {
+    SimDuration::from_secs_f64(n as f64 / 1e9)
+}
+
+/// A cache of per-root shortest-path trees, computed lazily.
+///
+/// Forwarding consults this on every multicast transmission; caching keeps a
+/// 100-round adaptive experiment on a 1000-node tree fast.
+#[derive(Clone, Debug, Default)]
+pub struct SptCache {
+    trees: std::collections::HashMap<NodeId, std::rc::Rc<SpTree>>,
+}
+
+impl SptCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The SPT rooted at `root`, computing it on first use.
+    pub fn get(&mut self, topo: &Topology, root: NodeId) -> std::rc::Rc<SpTree> {
+        self.trees
+            .entry(root)
+            .or_insert_with(|| std::rc::Rc::new(SpTree::compute(topo, root)))
+            .clone()
+    }
+
+    /// Drop all cached trees (call after mutating the topology).
+    pub fn invalidate(&mut self) {
+        self.trees.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{bounded_degree_tree, chain, star};
+    use crate::topology::TopologyBuilder;
+
+    #[test]
+    fn chain_distances() {
+        let t = chain(5);
+        let spt = SpTree::compute(&t, NodeId(0));
+        for i in 0..5u32 {
+            assert_eq!(spt.distance(NodeId(i)), SimDuration::from_secs(i as u64));
+            assert_eq!(spt.hop_count(NodeId(i)), i);
+        }
+    }
+
+    #[test]
+    fn star_children() {
+        let t = star(4);
+        let spt = SpTree::compute(&t, NodeId(1));
+        // From a leaf, hub is the only child; other leaves hang off the hub.
+        assert_eq!(spt.children(NodeId(1)).len(), 1);
+        assert_eq!(spt.children(NodeId(0)).len(), 3);
+        assert_eq!(spt.distance(NodeId(3)), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_parent() {
+        // Square: 0-1, 0-2, 1-3, 2-3. From 0, node 3 is at distance 2 via
+        // both 1 and 2; the deterministic rule picks parent 1.
+        let mut b = TopologyBuilder::new(4);
+        b.link(NodeId(0), NodeId(1));
+        b.link(NodeId(0), NodeId(2));
+        b.link(NodeId(1), NodeId(3));
+        b.link(NodeId(2), NodeId(3));
+        let t = b.build();
+        let spt = SpTree::compute(&t, NodeId(0));
+        assert_eq!(spt.parent(NodeId(3)).unwrap().0, NodeId(1));
+    }
+
+    #[test]
+    fn path_links_and_downstream() {
+        let t = chain(6);
+        let spt = SpTree::compute(&t, NodeId(0));
+        let links = spt.path_links(NodeId(3));
+        assert_eq!(links.len(), 3);
+        let l23 = t.link_between(NodeId(2), NodeId(3)).unwrap();
+        assert!(spt.path_uses_link(NodeId(5), l23));
+        assert!(!spt.path_uses_link(NodeId(2), l23));
+        assert_eq!(
+            spt.downstream_of(l23),
+            vec![NodeId(3), NodeId(4), NodeId(5)]
+        );
+    }
+
+    #[test]
+    fn ttl_reach_unit_thresholds() {
+        let t = chain(10);
+        let spt = SpTree::compute(&t, NodeId(0));
+        // TTL k reaches nodes 0..=k with all thresholds 1.
+        let reach = spt.ttl_reach(&t, 3);
+        assert_eq!(reach, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(spt.min_ttl_to_reach(&t, NodeId(3)), Some(3));
+        assert_eq!(spt.min_ttl_to_reach(&t, NodeId(0)), Some(0));
+    }
+
+    #[test]
+    fn ttl_reach_with_thresholds() {
+        let mut t = chain(4);
+        let l12 = t.link_between(NodeId(1), NodeId(2)).unwrap();
+        t.set_threshold(l12, 16); // an Mbone region boundary
+        let spt = SpTree::compute(&t, NodeId(0));
+        assert_eq!(spt.ttl_reach(&t, 5), vec![NodeId(0), NodeId(1)]);
+        // Crossing the 2nd link (1-2) needs ttl − 1 >= 16 → ttl >= 17.
+        assert_eq!(spt.min_ttl_to_reach(&t, NodeId(2)), Some(17));
+        assert!(spt.ttl_reach(&t, 17).contains(&NodeId(2)));
+        assert!(!spt.ttl_reach(&t, 16).contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn bounded_tree_spt_matches_bfs() {
+        let t = bounded_degree_tree(100, 4);
+        let spt = SpTree::compute(&t, NodeId(17));
+        // In a tree the SPT is the tree itself: every non-root has a parent.
+        for v in t.nodes() {
+            assert!(spt.reachable(v));
+        }
+        // Distances satisfy the triangle property along tree edges.
+        for (_, l) in t.links() {
+            let da = spt.distance(l.a).as_secs_f64();
+            let db = spt.distance(l.b).as_secs_f64();
+            assert!((da - db).abs() < 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cache_returns_same_tree() {
+        let t = chain(5);
+        let mut cache = SptCache::new();
+        let a = cache.get(&t, NodeId(2));
+        let b = cache.get(&t, NodeId(2));
+        assert!(std::rc::Rc::ptr_eq(&a, &b));
+        cache.invalidate();
+        let c = cache.get(&t, NodeId(2));
+        assert!(!std::rc::Rc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,876 @@
+//! The discrete-event simulator.
+//!
+//! [`Simulator`] owns a [`Topology`], a set of per-node applications (only
+//! session members need one — interior routers are pure forwarders), group
+//! membership, a [`LossModel`], and the event queue. Packets are forwarded
+//! hop by hop along the shortest-path tree rooted at the transmitting node,
+//! pruned to subtrees containing group members (DVMRP-style), honoring TTL
+//! thresholds and administrative scope boundaries at each hop.
+//!
+//! Applications interact with the world exclusively through [`Ctx`]: they
+//! multicast packets, join/leave groups, and set or cancel timers. All
+//! effects are buffered as actions and applied when the handler returns,
+//! which keeps handlers simple and the simulation deterministic.
+
+use crate::effects::{ChannelEffects, Ideal};
+use crate::event::{EventKind, EventQueue, TimerId};
+use crate::loss::{LossModel, NoLoss};
+use crate::packet::{GroupId, Packet, PacketId, SendOptions};
+use crate::routing::SptCache;
+use crate::stats::{Stats, Trace, TraceEvent};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+/// A protocol agent living on one node.
+///
+/// Handlers receive a [`Ctx`] through which all side effects flow.
+pub trait Application {
+    /// Called once when the simulation starts (before any event fires).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// A packet addressed to a group this node has joined arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet);
+
+    /// A previously set timer fired. `token` is the value passed to
+    /// [`Ctx::set_timer`].
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+}
+
+/// Buffered side effect of an application handler.
+#[derive(Debug)]
+enum Action {
+    Multicast {
+        group: GroupId,
+        payload: Bytes,
+        opts: SendOptions,
+    },
+    Unicast {
+        dest: NodeId,
+        payload: Bytes,
+        opts: SendOptions,
+    },
+    Join(GroupId),
+    Leave(GroupId),
+    SetTimer {
+        at: SimTime,
+        id: TimerId,
+        token: u64,
+    },
+    CancelTimer(TimerId),
+}
+
+/// The application's window onto the simulator.
+pub struct Ctx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The node this handler runs on.
+    pub node: NodeId,
+    rng: &'a mut StdRng,
+    actions: &'a mut Vec<(NodeId, Action)>,
+    next_timer: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// Deterministic per-simulation random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Multicast `payload` to `group` with default options (global TTL).
+    pub fn multicast(&mut self, group: GroupId, payload: Bytes) {
+        self.multicast_with(group, payload, SendOptions::default());
+    }
+
+    /// Multicast with explicit TTL / scope / flow options.
+    pub fn multicast_with(&mut self, group: GroupId, payload: Bytes, opts: SendOptions) {
+        self.actions.push((
+            self.node,
+            Action::Multicast {
+                group,
+                payload,
+                opts,
+            },
+        ));
+    }
+
+    /// Send `payload` to a single node along the shortest path (hop by hop,
+    /// subject to loss). SRM itself never unicasts — this exists for the
+    /// sender-based baseline protocols of Section II-A and the unicast-NACK
+    /// comparison of Section VI \[29\].
+    pub fn unicast(&mut self, dest: NodeId, payload: Bytes, opts: SendOptions) {
+        self.actions
+            .push((self.node, Action::Unicast { dest, payload, opts }));
+    }
+
+    /// Join a multicast group (takes effect after the handler returns).
+    pub fn join(&mut self, group: GroupId) {
+        self.actions.push((self.node, Action::Join(group)));
+    }
+
+    /// Leave a multicast group.
+    pub fn leave(&mut self, group: GroupId) {
+        self.actions.push((self.node, Action::Leave(group)));
+    }
+
+    /// Arm a one-shot timer `delay` from now; `token` is returned to
+    /// [`Application::on_timer`]. The returned [`TimerId`] can cancel it.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push((
+            self.node,
+            Action::SetTimer {
+                at: self.now + delay,
+                id,
+                token,
+            },
+        ));
+        id
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push((self.node, Action::CancelTimer(id)));
+    }
+}
+
+/// The discrete-event simulator. Generic over the application type.
+pub struct Simulator<A: Application> {
+    topo: Topology,
+    apps: Vec<Option<A>>,
+    groups: BTreeMap<GroupId, BTreeSet<NodeId>>,
+    membership_version: u64,
+    queue: EventQueue,
+    loss: Box<dyn LossModel>,
+    effects: Box<dyn ChannelEffects>,
+    spt: SptCache,
+    prune_cache: HashMap<(u32, u32), (u64, Rc<Vec<bool>>)>,
+    rng: StdRng,
+    now: SimTime,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    next_packet: u64,
+    actions: Vec<(NodeId, Action)>,
+    /// Traffic counters.
+    pub stats: Stats,
+    /// Optional event log (see [`Trace::enable`]).
+    pub trace: Trace,
+    started: bool,
+}
+
+impl<A: Application> Simulator<A> {
+    /// Build a simulator over `topo` with the given RNG seed and no loss.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let links = topo.num_links();
+        Simulator {
+            topo,
+            apps: Vec::new(),
+            groups: BTreeMap::new(),
+            membership_version: 0,
+            queue: EventQueue::new(),
+            loss: Box::new(NoLoss),
+            effects: Box::new(Ideal),
+            spt: SptCache::new(),
+            prune_cache: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            next_packet: 0,
+            actions: Vec::new(),
+            stats: Stats::new(links),
+            trace: Trace::default(),
+            started: false,
+        }
+    }
+
+    /// Replace the loss model.
+    pub fn set_loss_model(&mut self, m: Box<dyn LossModel>) {
+        self.loss = m;
+    }
+
+    /// Replace the channel-effects model (duplication / reordering jitter).
+    pub fn set_channel_effects(&mut self, e: Box<dyn ChannelEffects>) {
+        self.effects = e;
+    }
+
+    /// Mutable access to the loss model (e.g. to re-arm a one-shot drop).
+    ///
+    /// The concrete type must be known to the caller.
+    pub fn loss_model_mut(&mut self) -> &mut dyn LossModel {
+        self.loss.as_mut()
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Install an application on `node`. Replaces any existing one.
+    pub fn install(&mut self, node: NodeId, app: A) {
+        if self.apps.len() <= node.index() {
+            self.apps.resize_with(self.topo.num_nodes(), || None);
+        }
+        self.apps[node.index()] = Some(app);
+    }
+
+    /// Shared access to the application on `node`, if any.
+    pub fn app(&self, node: NodeId) -> Option<&A> {
+        self.apps.get(node.index()).and_then(|a| a.as_ref())
+    }
+
+    /// Mutable access to the application on `node`, if any.
+    ///
+    /// Use [`Simulator::exec`] instead when the application needs a [`Ctx`].
+    pub fn app_mut(&mut self, node: NodeId) -> Option<&mut A> {
+        self.apps.get_mut(node.index()).and_then(|a| a.as_mut())
+    }
+
+    /// Nodes with an installed application, ascending.
+    pub fn app_nodes(&self) -> Vec<NodeId> {
+        self.apps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|_| NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Subscribe `node` to `group` (simulator-level; apps can also join via
+    /// [`Ctx::join`]).
+    pub fn join(&mut self, node: NodeId, group: GroupId) {
+        if self.groups.entry(group).or_default().insert(node) {
+            self.membership_version += 1;
+        }
+    }
+
+    /// Unsubscribe `node` from `group`.
+    pub fn leave(&mut self, node: NodeId, group: GroupId) {
+        if let Some(set) = self.groups.get_mut(&group) {
+            if set.remove(&node) {
+                self.membership_version += 1;
+            }
+        }
+    }
+
+    /// Current members of `group`, ascending.
+    pub fn members(&self, group: GroupId) -> Vec<NodeId> {
+        self.groups
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Run `f` on the application at `node` with a live [`Ctx`], applying
+    /// any actions it takes. This is how experiment drivers inject work
+    /// ("the source now multicasts packet k").
+    ///
+    /// # Panics
+    /// Panics if `node` has no application.
+    pub fn exec<R>(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_>) -> R) -> R {
+        self.ensure_started();
+        let mut app = self.apps[node.index()]
+            .take()
+            .unwrap_or_else(|| panic!("no application installed on {node:?}"));
+        let r = {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                rng: &mut self.rng,
+                actions: &mut self.actions,
+                next_timer: &mut self.next_timer,
+            };
+            f(&mut app, &mut ctx)
+        };
+        self.apps[node.index()] = Some(app);
+        self.apply_actions();
+        r
+    }
+
+    /// Inject a multicast transmission from `node` without going through an
+    /// application handler.
+    pub fn send_from(&mut self, node: NodeId, group: GroupId, payload: Bytes, opts: SendOptions) {
+        self.originate(node, None, group, payload, opts);
+    }
+
+    /// Inject a unicast transmission from `node` to `dest`.
+    pub fn send_unicast_from(
+        &mut self,
+        node: NodeId,
+        dest: NodeId,
+        payload: Bytes,
+        opts: SendOptions,
+    ) {
+        self.originate(node, Some(dest), GroupId(u32::MAX), payload, opts);
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some((at, kind)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.stats.events += 1;
+        match kind {
+            EventKind::Hop { node, via, pkt } => self.process_hop(node, via, pkt),
+            EventKind::Timer { node, id, token } => {
+                if self.cancelled.remove(&id) {
+                    return true;
+                }
+                if self.apps.get(node.index()).map_or(false, |a| a.is_some()) {
+                    self.dispatch(node, |app, ctx| app.on_timer(ctx, token));
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the queue is empty or the next event is after `limit`.
+    /// Advances `now` to `limit` if the queue drains first... no: `now`
+    /// ends at the time of the last processed event (or `limit` if events
+    /// remain beyond it).
+    pub fn run_until(&mut self, limit: SimTime) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > limit {
+                break;
+            }
+            self.step();
+        }
+        if self.now < limit {
+            self.now = limit;
+        }
+    }
+
+    /// Run until the queue is empty, bailing out after `limit`.
+    ///
+    /// Returns `true` if the queue drained, `false` if the limit was hit.
+    pub fn run_until_idle(&mut self, limit: SimTime) -> bool {
+        self.ensure_started();
+        loop {
+            match self.queue.peek_time() {
+                None => return true,
+                Some(t) if t > limit => return false,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Pending event count (for tests and debugging).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if self.apps.len() < self.topo.num_nodes() {
+            self.apps.resize_with(self.topo.num_nodes(), || None);
+        }
+        for i in 0..self.apps.len() {
+            if self.apps[i].is_some() {
+                self.dispatch(NodeId(i as u32), |app, ctx| app.on_start(ctx));
+            }
+        }
+    }
+
+    /// Call an app handler and then apply its actions.
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_>)) {
+        let Some(mut app) = self.apps[node.index()].take() else {
+            return;
+        };
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                rng: &mut self.rng,
+                actions: &mut self.actions,
+                next_timer: &mut self.next_timer,
+            };
+            f(&mut app, &mut ctx);
+        }
+        self.apps[node.index()] = Some(app);
+        self.apply_actions();
+    }
+
+    fn apply_actions(&mut self) {
+        let actions = std::mem::take(&mut self.actions);
+        for (node, a) in actions {
+            match a {
+                Action::Multicast {
+                    group,
+                    payload,
+                    opts,
+                } => self.originate(node, None, group, payload, opts),
+                Action::Unicast { dest, payload, opts } => {
+                    self.originate(node, Some(dest), GroupId(u32::MAX), payload, opts)
+                }
+                Action::Join(g) => self.join(node, g),
+                Action::Leave(g) => self.leave(node, g),
+                Action::SetTimer { at, id, token } => {
+                    self.queue.schedule(at, EventKind::Timer { node, id, token });
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn originate(
+        &mut self,
+        node: NodeId,
+        dest: Option<NodeId>,
+        group: GroupId,
+        payload: Bytes,
+        opts: SendOptions,
+    ) {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let size = if opts.size == 0 {
+            payload.len() as u32
+        } else {
+            opts.size
+        };
+        let pkt = Packet {
+            id,
+            src: node,
+            group,
+            dest,
+            ttl: opts.ttl,
+            initial_ttl: opts.ttl,
+            admin_scoped: opts.admin_scoped,
+            flow: opts.flow,
+            size,
+            payload,
+        };
+        self.stats.record_send(opts.flow);
+        self.trace.push(TraceEvent::Send {
+            at: self.now,
+            node,
+            pkt: id,
+            flow: opts.flow,
+        });
+        // Enter the forwarding engine at the origin node "now".
+        self.queue.schedule(
+            self.now,
+            EventKind::Hop {
+                node,
+                via: None,
+                pkt,
+            },
+        );
+    }
+
+    fn process_hop(&mut self, node: NodeId, _via: Option<crate::topology::LinkId>, pkt: Packet) {
+        if let Some(dest) = pkt.dest {
+            self.process_unicast_hop(node, dest, pkt);
+            return;
+        }
+        // Deliver to the local application if this node is a member of the
+        // group (the origin does not loop its own packets back up).
+        if node != pkt.src {
+            let is_member = self
+                .groups
+                .get(&pkt.group)
+                .map_or(false, |s| s.contains(&node));
+            if is_member && self.apps.get(node.index()).map_or(false, |a| a.is_some()) {
+                self.deliver(node, &pkt);
+            }
+        }
+        // Forward along the source-rooted shortest-path tree, pruned to
+        // subtrees containing members.
+        let tree = self.spt.get(&self.topo, pkt.src);
+        let mask = self.forward_mask(pkt.src, pkt.group);
+        if pkt.ttl == 0 {
+            return;
+        }
+        for &(child, link) in tree.children(node) {
+            if !mask[child.index()] {
+                continue; // pruned: no members in that subtree
+            }
+            self.cross_link(node, child, link, &pkt);
+        }
+    }
+
+    /// Forward a unicast packet one hop toward `dest` (or deliver it).
+    fn process_unicast_hop(&mut self, node: NodeId, dest: NodeId, pkt: Packet) {
+        if node == dest {
+            if self.apps.get(node.index()).map_or(false, |a| a.is_some()) {
+                self.deliver(node, &pkt);
+            }
+            return;
+        }
+        if pkt.ttl == 0 {
+            return;
+        }
+        // The next hop toward `dest` is this node's parent in the SPT
+        // rooted at `dest` (links are symmetric).
+        let tree = self.spt.get(&self.topo, dest);
+        let Some((next, link)) = tree.parent(node) else {
+            return; // unreachable destination
+        };
+        self.cross_link(node, next, link, &pkt);
+    }
+
+    fn deliver(&mut self, node: NodeId, pkt: &Packet) {
+        self.stats.record_delivery(pkt.flow);
+        self.trace.push(TraceEvent::Deliver {
+            at: self.now,
+            node,
+            pkt: pkt.id,
+            flow: pkt.flow,
+        });
+        let p = pkt.clone();
+        self.dispatch(node, |app, ctx| app.on_packet(ctx, &p));
+    }
+
+    /// Apply TTL/scope/loss/effects and schedule the packet's arrival(s) at
+    /// the far end of `link`.
+    fn cross_link(&mut self, node: NodeId, next: NodeId, link: crate::topology::LinkId, pkt: &Packet) {
+        let l = self.topo.link(link);
+        // mrouted convention: forward iff the current TTL clears the link
+        // threshold; the crossing decrements it (Section VII-B3).
+        if pkt.ttl < l.threshold || pkt.ttl == 0 {
+            return;
+        }
+        if pkt.admin_scoped && self.topo.zone(node) != self.topo.zone(next) {
+            return; // administrative scope boundary (Section VII-B1)
+        }
+        if self.loss.should_drop(self.now, link, node, next, pkt) {
+            self.stats.record_drop(link);
+            self.trace.push(TraceEvent::Drop {
+                at: self.now,
+                link,
+                pkt: pkt.id,
+            });
+            return;
+        }
+        let delay = l.delay;
+        let copies = self.effects.copies(self.now, link, node, next, pkt).max(1);
+        for _ in 0..copies {
+            let jitter = self.effects.jitter(self.now, link, node, next, pkt);
+            let at = self.now + delay + jitter;
+            self.stats.record_hop(link, pkt.flow, pkt.size);
+            self.trace.push(TraceEvent::Forward {
+                at,
+                link,
+                from: node,
+                to: next,
+                pkt: pkt.id,
+            });
+            let mut fwd = pkt.clone();
+            fwd.ttl = pkt.ttl - 1;
+            self.queue.schedule(
+                at,
+                EventKind::Hop {
+                    node: next,
+                    via: Some(link),
+                    pkt: fwd,
+                },
+            );
+        }
+    }
+
+    /// `mask[v]` is true iff the subtree of the SPT rooted at `v` contains a
+    /// member of `group` — i.e. packets must be forwarded toward `v`.
+    fn forward_mask(&mut self, root: NodeId, group: GroupId) -> Rc<Vec<bool>> {
+        let key = (root.0, group.0);
+        if let Some((ver, mask)) = self.prune_cache.get(&key) {
+            if *ver == self.membership_version {
+                return mask.clone();
+            }
+        }
+        let tree = self.spt.get(&self.topo, root);
+        let mut mask = vec![false; self.topo.num_nodes()];
+        if let Some(members) = self.groups.get(&group) {
+            for &m in members {
+                let mut cur = m;
+                while !mask[cur.index()] {
+                    mask[cur.index()] = true;
+                    match tree.parent(cur) {
+                        Some((p, _)) => cur = p,
+                        None => break,
+                    }
+                }
+            }
+        }
+        let mask = Rc::new(mask);
+        self.prune_cache
+            .insert(key, (self.membership_version, mask.clone()));
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{chain, star};
+    use crate::loss::OneShotLinkDrop;
+    use crate::packet::flow;
+
+    /// A trivial app that records everything it receives and can echo.
+    #[derive(Default)]
+    struct Recorder {
+        got: Vec<(SimTime, u64)>, // (time, first payload byte widened)
+        timers: Vec<u64>,
+    }
+
+    impl Application for Recorder {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+            let tag = pkt.payload.first().copied().unwrap_or(0) as u64;
+            self.got.push((ctx.now, tag));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            let _ = ctx;
+            self.timers.push(token);
+        }
+    }
+
+    const G: GroupId = GroupId(1);
+
+    fn setup_chain(n: usize) -> Simulator<Recorder> {
+        let topo = chain(n);
+        let mut sim = Simulator::new(topo, 1);
+        for i in 0..n {
+            sim.install(NodeId(i as u32), Recorder::default());
+            sim.join(NodeId(i as u32), G);
+        }
+        sim
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_with_link_delay() {
+        let mut sim = setup_chain(5);
+        sim.send_from(NodeId(0), G, Bytes::from_static(&[7]), SendOptions::default());
+        assert!(sim.run_until_idle(SimTime::from_secs(100)));
+        for i in 1..5u32 {
+            let app = sim.app(NodeId(i)).unwrap();
+            assert_eq!(app.got.len(), 1, "node {i}");
+            assert_eq!(app.got[0].0, SimTime::from_secs(i as u64));
+        }
+        // The origin does not hear its own packet.
+        assert!(sim.app(NodeId(0)).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn one_copy_per_link() {
+        let mut sim = setup_chain(5);
+        sim.send_from(NodeId(2), G, Bytes::from_static(&[1]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(100));
+        for l in sim.stats.links.iter() {
+            assert_eq!(l.packets, 1);
+        }
+    }
+
+    #[test]
+    fn pruning_skips_memberless_subtrees() {
+        let topo = star(4);
+        let mut sim: Simulator<Recorder> = Simulator::new(topo, 1);
+        // Only leaves 1 and 2 are members; 3 and 4 are not.
+        for i in [1u32, 2] {
+            sim.install(NodeId(i), Recorder::default());
+            sim.join(NodeId(i), G);
+        }
+        sim.send_from(NodeId(1), G, Bytes::from_static(&[1]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(10));
+        // Links to 3 and 4 never carry the packet: exactly 2 link crossings
+        // (1→hub, hub→2).
+        assert_eq!(sim.stats.total_hops(), 2);
+        assert_eq!(sim.app(NodeId(2)).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn one_shot_drop_partitions_downstream() {
+        let mut sim = setup_chain(5);
+        let l23 = sim.topology().link_between(NodeId(2), NodeId(3)).unwrap();
+        sim.set_loss_model(Box::new(OneShotLinkDrop::new(l23, NodeId(0), flow::DATA)));
+        sim.send_from(NodeId(0), G, Bytes::from_static(&[1]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(100));
+        assert_eq!(sim.app(NodeId(2)).unwrap().got.len(), 1);
+        assert_eq!(sim.app(NodeId(3)).unwrap().got.len(), 0);
+        assert_eq!(sim.app(NodeId(4)).unwrap().got.len(), 0);
+        // Second packet passes (one-shot).
+        sim.send_from(NodeId(0), G, Bytes::from_static(&[2]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(100));
+        assert_eq!(sim.app(NodeId(4)).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn ttl_limits_reach() {
+        let mut sim = setup_chain(6);
+        sim.send_from(
+            NodeId(0),
+            G,
+            Bytes::from_static(&[1]),
+            SendOptions::default().with_ttl(2),
+        );
+        sim.run_until_idle(SimTime::from_secs(100));
+        assert_eq!(sim.app(NodeId(2)).unwrap().got.len(), 1);
+        assert_eq!(sim.app(NodeId(3)).unwrap().got.len(), 0);
+    }
+
+    #[test]
+    fn admin_scope_blocks_zone_boundary() {
+        let mut topo = chain(4);
+        topo.set_zone(NodeId(2), 1);
+        topo.set_zone(NodeId(3), 1);
+        let mut sim: Simulator<Recorder> = Simulator::new(topo, 1);
+        for i in 0..4u32 {
+            sim.install(NodeId(i), Recorder::default());
+            sim.join(NodeId(i), G);
+        }
+        sim.send_from(
+            NodeId(0),
+            G,
+            Bytes::from_static(&[1]),
+            SendOptions::default().admin_scoped(),
+        );
+        sim.run_until_idle(SimTime::from_secs(100));
+        assert_eq!(sim.app(NodeId(1)).unwrap().got.len(), 1);
+        assert_eq!(sim.app(NodeId(2)).unwrap().got.len(), 0);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut sim = setup_chain(2);
+        let id = sim.exec(NodeId(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_secs(5), 42)
+        });
+        sim.exec(NodeId(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_secs(1), 7);
+        });
+        sim.exec(NodeId(0), |_, ctx| ctx.cancel_timer(id));
+        sim.run_until_idle(SimTime::from_secs(100));
+        let app = sim.app(NodeId(0)).unwrap();
+        assert_eq!(app.timers, vec![7]);
+    }
+
+    #[test]
+    fn membership_change_invalidates_prune_cache() {
+        let topo = star(3);
+        let mut sim: Simulator<Recorder> = Simulator::new(topo, 1);
+        for i in 1..=3u32 {
+            sim.install(NodeId(i), Recorder::default());
+        }
+        sim.join(NodeId(1), G);
+        sim.send_from(NodeId(1), G, Bytes::from_static(&[1]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(10));
+        assert_eq!(sim.app(NodeId(2)).unwrap().got.len(), 0);
+        sim.join(NodeId(2), G);
+        sim.send_from(NodeId(1), G, Bytes::from_static(&[2]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(10));
+        assert_eq!(sim.app(NodeId(2)).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock() {
+        let mut sim = setup_chain(2);
+        sim.run_until(SimTime::from_secs(9));
+        assert_eq!(sim.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn unicast_follows_shortest_path() {
+        let mut sim = setup_chain(6);
+        sim.send_unicast_from(
+            NodeId(1),
+            NodeId(4),
+            Bytes::from_static(&[9]),
+            SendOptions::default(),
+        );
+        sim.run_until_idle(SimTime::from_secs(100));
+        // Only the destination hears it, after 3 link delays.
+        let a4 = sim.app(NodeId(4)).unwrap();
+        assert_eq!(a4.got, vec![(SimTime::from_secs(3), 9)]);
+        for i in [0u32, 2, 3, 5] {
+            assert!(sim.app(NodeId(i)).unwrap().got.is_empty(), "node {i}");
+        }
+        // Exactly 3 link crossings.
+        assert_eq!(sim.stats.total_hops(), 3);
+    }
+
+    #[test]
+    fn unicast_subject_to_loss() {
+        let mut sim = setup_chain(4);
+        let l12 = sim.topology().link_between(NodeId(1), NodeId(2)).unwrap();
+        sim.set_loss_model(Box::new(OneShotLinkDrop::new(l12, NodeId(0), flow::DATA)));
+        sim.send_unicast_from(
+            NodeId(0),
+            NodeId(3),
+            Bytes::from_static(&[1]),
+            SendOptions::default(),
+        );
+        sim.run_until_idle(SimTime::from_secs(100));
+        assert!(sim.app(NodeId(3)).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn duplication_effects_deliver_twice() {
+        let mut sim = setup_chain(2);
+        sim.set_channel_effects(Box::new(crate::effects::RandomEffects::new(
+            1.0, // always duplicate
+            SimDuration::ZERO,
+            1,
+        )));
+        sim.send_from(NodeId(0), G, Bytes::from_static(&[5]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(100));
+        assert_eq!(sim.app(NodeId(1)).unwrap().got.len(), 2);
+    }
+
+    #[test]
+    fn jitter_can_reorder_packets() {
+        // Two packets sent back to back with large jitter: over many seeds
+        // at least one run reorders. Use a fixed seed known to reorder by
+        // checking relative order of payload tags.
+        let mut reordered = false;
+        for seed in 0..20u64 {
+            let mut sim = setup_chain(2);
+            sim.set_channel_effects(Box::new(crate::effects::RandomEffects::new(
+                0.0,
+                SimDuration::from_secs(5),
+                seed,
+            )));
+            sim.send_from(NodeId(0), G, Bytes::from_static(&[1]), SendOptions::default());
+            sim.send_from(NodeId(0), G, Bytes::from_static(&[2]), SendOptions::default());
+            sim.run_until_idle(SimTime::from_secs(100));
+            let tags: Vec<u64> = sim.app(NodeId(1)).unwrap().got.iter().map(|&(_, t)| t).collect();
+            if tags == vec![2, 1] {
+                reordered = true;
+                break;
+            }
+        }
+        assert!(reordered, "jitter produced a reordering in 20 seeds");
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut sim = setup_chain(3);
+        sim.trace.enable();
+        sim.send_from(NodeId(0), G, Bytes::from_static(&[1]), SendOptions::default());
+        sim.run_until_idle(SimTime::from_secs(10));
+        let sends = sim.trace.count(|e| matches!(e, TraceEvent::Send { .. }));
+        let fwds = sim.trace.count(|e| matches!(e, TraceEvent::Forward { .. }));
+        let dels = sim.trace.count(|e| matches!(e, TraceEvent::Deliver { .. }));
+        assert_eq!(sends, 1);
+        assert_eq!(fwds, 2);
+        assert_eq!(dels, 2);
+    }
+}

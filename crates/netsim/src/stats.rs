@@ -1,0 +1,247 @@
+//! Simulation statistics and event tracing.
+//!
+//! Section V of the paper mentions "the tools that we used to verify that
+//! our simulator is correctly implementing the loss recovery algorithms";
+//! the [`Trace`] here plays that role: every send, forward, drop, and
+//! delivery can be recorded and asserted on in tests.
+
+use crate::packet::PacketId;
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId};
+use std::collections::BTreeMap;
+
+/// Per-link counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Packets that crossed the link (either direction), excluding drops.
+    pub packets: u64,
+    /// Bytes that crossed the link.
+    pub bytes: u64,
+    /// Packets dropped on the link by the loss model.
+    pub drops: u64,
+}
+
+/// Aggregate simulation statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Per-link traffic.
+    pub links: Vec<LinkStats>,
+    /// Per-flow transmitted-packet counts (counted once per origination,
+    /// not per hop).
+    pub sent_by_flow: BTreeMap<u32, u64>,
+    /// Per-flow per-hop transmission counts (each link crossing counts).
+    pub hops_by_flow: BTreeMap<u32, u64>,
+    /// Per-flow delivered-to-application counts.
+    pub delivered_by_flow: BTreeMap<u32, u64>,
+    /// Total events processed.
+    pub events: u64,
+}
+
+impl Stats {
+    pub(crate) fn new(num_links: usize) -> Self {
+        Stats {
+            links: vec![LinkStats::default(); num_links],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, flow: u32) {
+        *self.sent_by_flow.entry(flow).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_hop(&mut self, link: LinkId, flow: u32, bytes: u32) {
+        let l = &mut self.links[link.index()];
+        l.packets += 1;
+        l.bytes += bytes as u64;
+        *self.hops_by_flow.entry(flow).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self, link: LinkId) {
+        self.links[link.index()].drops += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, flow: u32) {
+        *self.delivered_by_flow.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Total packets originated, all flows.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_by_flow.values().sum()
+    }
+
+    /// Total link crossings, all flows — the paper's "bandwidth" proxy.
+    pub fn total_hops(&self) -> u64 {
+        self.hops_by_flow.values().sum()
+    }
+
+    /// Link crossings for one flow.
+    pub fn hops_for(&self, flow: u32) -> u64 {
+        self.hops_by_flow.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Packets originated for one flow.
+    pub fn sent_for(&self, flow: u32) -> u64 {
+        self.sent_by_flow.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Deliveries for one flow.
+    pub fn delivered_for(&self, flow: u32) -> u64 {
+        self.delivered_by_flow.get(&flow).copied().unwrap_or(0)
+    }
+}
+
+/// One recorded simulator event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node originated a packet.
+    Send {
+        /// Time of origination.
+        at: SimTime,
+        /// Originating node.
+        node: NodeId,
+        /// Packet id.
+        pkt: PacketId,
+        /// Flow class.
+        flow: u32,
+    },
+    /// A packet crossed a link.
+    Forward {
+        /// Arrival time at the far end.
+        at: SimTime,
+        /// Link crossed.
+        link: LinkId,
+        /// Sending side.
+        from: NodeId,
+        /// Receiving side.
+        to: NodeId,
+        /// Packet id.
+        pkt: PacketId,
+    },
+    /// The loss model dropped a packet on a link.
+    Drop {
+        /// Time of the (attempted) transmission.
+        at: SimTime,
+        /// Link on which the drop occurred.
+        link: LinkId,
+        /// Packet id.
+        pkt: PacketId,
+    },
+    /// A packet was handed to the application on a member node.
+    Deliver {
+        /// Delivery time.
+        at: SimTime,
+        /// Receiving member.
+        node: NodeId,
+        /// Packet id.
+        pkt: PacketId,
+        /// Flow class.
+        flow: u32,
+    },
+}
+
+/// An in-memory log of [`TraceEvent`]s. Disabled by default.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    /// Recorded events in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Start recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stop recording (keeps what was recorded).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    pub(crate) fn push(&mut self, e: TraceEvent) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// Count of recorded events matching a predicate.
+    pub fn count(&self, f: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+
+    /// Deliveries of a given packet, in order.
+    pub fn deliveries_of(&self, pkt: PacketId) -> Vec<(SimTime, NodeId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Deliver { at, node, pkt: p, .. } if *p == pkt => Some((*at, *node)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new(2);
+        s.record_send(0);
+        s.record_send(0);
+        s.record_send(1);
+        s.record_hop(LinkId(0), 0, 100);
+        s.record_hop(LinkId(1), 1, 50);
+        s.record_drop(LinkId(1));
+        s.record_delivery(0);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.sent_for(0), 2);
+        assert_eq!(s.total_hops(), 2);
+        assert_eq!(s.links[1].drops, 1);
+        assert_eq!(s.links[0].bytes, 100);
+        assert_eq!(s.delivered_for(0), 1);
+        assert_eq!(s.delivered_for(9), 0);
+    }
+
+    #[test]
+    fn trace_respects_enable() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::Send {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            pkt: PacketId(1),
+            flow: 0,
+        });
+        assert!(t.events.is_empty());
+        t.enable();
+        t.push(TraceEvent::Send {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            pkt: PacketId(2),
+            flow: 0,
+        });
+        assert_eq!(t.events.len(), 1);
+    }
+
+    #[test]
+    fn deliveries_of_filters() {
+        let mut t = Trace::default();
+        t.enable();
+        for i in 0..3 {
+            t.push(TraceEvent::Deliver {
+                at: SimTime::from_secs(i),
+                node: NodeId(i as u32),
+                pkt: PacketId(if i == 1 { 7 } else { 8 }),
+                flow: 0,
+            });
+        }
+        assert_eq!(t.deliveries_of(PacketId(7)).len(), 1);
+        assert_eq!(t.deliveries_of(PacketId(8)).len(), 2);
+    }
+}

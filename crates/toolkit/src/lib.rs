@@ -1,0 +1,29 @@
+//! # srm-toolkit — the Section IX-D toolkit, in Rust
+//!
+//! The paper closes by arguing that "an ALF protocol architecture does not
+//! necessarily preclude substantial code re-use" and sketches an SRM
+//! toolkit: a base implementing the generic framework, derived classes
+//! supplying application semantics. This crate is that toolkit:
+//!
+//! - [`tool`]: the generic [`SrmTool`] base (an [`srm::SrmAgent`] plus the
+//!   pump) and the [`SrmApplication`] trait the derived application
+//!   implements — its ADU codec, delivery handling, and page policy;
+//! - [`news`]: Usenet-style article distribution with converging reply
+//!   threads (one of Section III-D's suggested applications);
+//! - [`routes`]: routing-protocol updates with per-origin latest-wins
+//!   semantics and a derived best-route RIB (the other suggestion).
+//!
+//! The `wb` crate is morally the third derived application; it predates
+//! the trait and keeps its own shape, exactly as the paper describes wb's
+//! relationship to the later toolkit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod news;
+pub mod routes;
+pub mod tool;
+
+pub use news::{Article, NewsApp, NewsTool};
+pub use routes::{Prefix, Route, RouteApp, RouteTool, RouteUpdate};
+pub use tool::{PageFetch, SrmApplication, SrmTool};

@@ -1,0 +1,219 @@
+//! Usenet-style news distribution over SRM — one of the "potential
+//! applications for SRM other than wb" the paper names (Section III-D:
+//! "routing protocol updates, Usenet news, and adaptive web caches").
+//!
+//! Articles are immutable, uniquely named ADUs; a reply references its
+//! parent by ADU name, and every member independently assembles the same
+//! thread forest regardless of arrival order (replies arriving before
+//! their parents simply wait in the forest until the parent shows up —
+//! the same patching idea as wb's deletes).
+
+use crate::tool::{SrmApplication, SrmTool};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use srm::{AduName, PageId, SeqNo, SourceId};
+use std::collections::BTreeMap;
+
+/// A news article.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Article {
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+    /// The article this replies to, if any.
+    pub references: Option<AduName>,
+}
+
+impl Article {
+    /// Encode as an ADU payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32 + self.subject.len() + self.body.len());
+        match &self.references {
+            None => b.put_u8(0),
+            Some(r) => {
+                b.put_u8(1);
+                b.put_u64(r.source.0);
+                b.put_u64(r.page.creator.0);
+                b.put_u32(r.page.number);
+                b.put_u64(r.seq.0);
+            }
+        }
+        b.put_u32(self.subject.len() as u32);
+        b.put_slice(self.subject.as_bytes());
+        b.put_u32(self.body.len() as u32);
+        b.put_slice(self.body.as_bytes());
+        b.freeze()
+    }
+
+    /// Decode; `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<Article> {
+        if buf.is_empty() {
+            return None;
+        }
+        let references = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.len() < 28 {
+                    return None;
+                }
+                Some(AduName::new(
+                    SourceId(buf.get_u64()),
+                    PageId::new(SourceId(buf.get_u64()), buf.get_u32()),
+                    SeqNo(buf.get_u64()),
+                ))
+            }
+            _ => return None,
+        };
+        let take_string = |buf: &mut Bytes| -> Option<String> {
+            if buf.len() < 4 {
+                return None;
+            }
+            let n = buf.get_u32() as usize;
+            if n > buf.len() {
+                return None;
+            }
+            String::from_utf8(buf.split_to(n).to_vec()).ok()
+        };
+        let subject = take_string(&mut buf)?;
+        let body = take_string(&mut buf)?;
+        Some(Article {
+            subject,
+            body,
+            references,
+        })
+    }
+}
+
+/// The assembled view: every article plus the reply forest.
+#[derive(Debug, Default)]
+pub struct NewsApp {
+    /// All articles by name.
+    pub articles: BTreeMap<AduName, Article>,
+}
+
+impl NewsApp {
+    /// Direct replies to `parent`, ascending by name.
+    pub fn replies_to(&self, parent: &AduName) -> Vec<&AduName> {
+        self.articles
+            .iter()
+            .filter(|(_, a)| a.references.as_ref() == Some(parent))
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Thread roots (articles with no parent, or whose parent is unknown —
+    /// the latter become proper children once the parent arrives).
+    pub fn roots(&self) -> Vec<&AduName> {
+        self.articles
+            .iter()
+            .filter(|(_, a)| match &a.references {
+                None => true,
+                Some(p) => !self.articles.contains_key(p),
+            })
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// A canonical digest of the whole forest, for convergence checks.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (n, a) in &self.articles {
+            mix(n.source.0);
+            mix(n.seq.0);
+            for byte in a.subject.bytes().chain(a.body.bytes()) {
+                mix(byte as u64);
+            }
+            if let Some(r) = &a.references {
+                mix(r.source.0);
+                mix(r.seq.0);
+            }
+        }
+        h
+    }
+}
+
+impl SrmApplication for NewsApp {
+    type Item = Article;
+    fn decode(&self, _name: AduName, payload: &Bytes) -> Option<Article> {
+        Article::decode(payload.clone())
+    }
+    fn on_item(&mut self, name: AduName, item: Article) {
+        self.articles.entry(name).or_insert(item);
+    }
+}
+
+/// A news node: the toolkit base specialized with [`NewsApp`].
+pub type NewsTool = SrmTool<NewsApp>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: u64, q: u64) -> AduName {
+        AduName::new(SourceId(s), PageId::new(SourceId(0), 0), SeqNo(q))
+    }
+
+    fn art(subject: &str, parent: Option<AduName>) -> Article {
+        Article {
+            subject: subject.into(),
+            body: format!("body of {subject}"),
+            references: parent,
+        }
+    }
+
+    #[test]
+    fn article_codec_roundtrips() {
+        for a in [
+            art("hello", None),
+            art("re: hello", Some(name(1, 0))),
+            Article {
+                subject: String::new(),
+                body: String::new(),
+                references: None,
+            },
+        ] {
+            assert_eq!(Article::decode(a.encode()), Some(a));
+        }
+    }
+
+    #[test]
+    fn malformed_articles_rejected() {
+        assert_eq!(Article::decode(Bytes::new()), None);
+        assert_eq!(Article::decode(Bytes::from_static(&[9])), None);
+        let good = art("x", Some(name(1, 0))).encode();
+        for cut in 1..good.len() {
+            // Truncations either fail or decode to a shorter valid read —
+            // never panic.
+            let _ = Article::decode(good.slice(0..cut));
+        }
+    }
+
+    #[test]
+    fn threads_assemble_in_any_order() {
+        let root_n = name(1, 0);
+        let reply_n = name(2, 0);
+        let nested_n = name(3, 0);
+        let root = art("root", None);
+        let reply = art("re: root", Some(root_n));
+        let nested = art("re: re: root", Some(reply_n));
+        // Forward order.
+        let mut a = NewsApp::default();
+        a.on_item(root_n, root.clone());
+        a.on_item(reply_n, reply.clone());
+        a.on_item(nested_n, nested.clone());
+        // Reverse order (replies before parents).
+        let mut b = NewsApp::default();
+        b.on_item(nested_n, nested);
+        assert_eq!(b.roots().len(), 1, "orphan reply is a provisional root");
+        b.on_item(reply_n, reply);
+        b.on_item(root_n, root);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(b.roots(), vec![&root_n]);
+        assert_eq!(b.replies_to(&root_n), vec![&reply_n]);
+        assert_eq!(b.replies_to(&reply_n), vec![&nested_n]);
+    }
+}

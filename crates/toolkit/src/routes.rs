@@ -1,0 +1,257 @@
+//! Routing-protocol updates over SRM — the second "potential application"
+//! Section III-D names.
+//!
+//! Each origin announces and withdraws prefixes on its own ADU stream;
+//! because names are ordered per origin, "latest update wins" is
+//! well-defined per (origin, prefix) even under arbitrary reordering and
+//! repair. Every member then computes the same RIB: per prefix, the
+//! lowest-metric live announcement (ties to the smaller origin).
+
+use crate::tool::{SrmApplication, SrmTool};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use srm::{AduName, SourceId};
+use std::collections::BTreeMap;
+
+/// An IPv4-style prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Network address.
+    pub addr: u32,
+    /// Prefix length in bits.
+    pub len: u8,
+}
+
+/// One route update ADU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteUpdate {
+    /// The prefix being announced or withdrawn.
+    pub prefix: Prefix,
+    /// Next hop (opaque id).
+    pub next_hop: u32,
+    /// Path metric; lower is better.
+    pub metric: u32,
+    /// True for a withdrawal.
+    pub withdrawn: bool,
+}
+
+impl RouteUpdate {
+    /// Encode as an ADU payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(self.prefix.addr);
+        b.put_u8(self.prefix.len);
+        b.put_u32(self.next_hop);
+        b.put_u32(self.metric);
+        b.put_u8(self.withdrawn as u8);
+        b.freeze()
+    }
+
+    /// Decode; `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<RouteUpdate> {
+        if buf.len() != 14 {
+            return None;
+        }
+        let prefix = Prefix {
+            addr: buf.get_u32(),
+            len: buf.get_u8(),
+        };
+        if prefix.len > 32 {
+            return None;
+        }
+        let next_hop = buf.get_u32();
+        let metric = buf.get_u32();
+        let withdrawn = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        Some(RouteUpdate {
+            prefix,
+            next_hop,
+            metric,
+            withdrawn,
+        })
+    }
+}
+
+/// A chosen route in the RIB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The announcing origin.
+    pub origin: SourceId,
+    /// Next hop.
+    pub next_hop: u32,
+    /// Metric.
+    pub metric: u32,
+}
+
+/// The route-update application: per-origin latest state plus the derived
+/// RIB.
+#[derive(Debug, Default)]
+pub struct RouteApp {
+    /// Latest update per (origin, prefix), with the ADU seq that carried it
+    /// (per-origin names are ordered, so "latest" is exact).
+    latest: BTreeMap<(SourceId, Prefix), (u64, RouteUpdate)>,
+}
+
+impl RouteApp {
+    /// The best live route per prefix: lowest metric, ties to the smaller
+    /// origin id.
+    pub fn rib(&self) -> BTreeMap<Prefix, Route> {
+        let mut rib: BTreeMap<Prefix, Route> = BTreeMap::new();
+        for (&(origin, prefix), &(_, u)) in &self.latest {
+            if u.withdrawn {
+                continue;
+            }
+            let cand = Route {
+                origin,
+                next_hop: u.next_hop,
+                metric: u.metric,
+            };
+            rib.entry(prefix)
+                .and_modify(|best| {
+                    if (cand.metric, cand.origin) < (best.metric, best.origin) {
+                        *best = cand;
+                    }
+                })
+                .or_insert(cand);
+        }
+        rib
+    }
+
+    /// Canonical digest of the RIB, for convergence checks.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (p, r) in self.rib() {
+            mix(p.addr as u64);
+            mix(p.len as u64);
+            mix(r.origin.0);
+            mix(r.next_hop as u64);
+            mix(r.metric as u64);
+        }
+        h
+    }
+}
+
+impl SrmApplication for RouteApp {
+    type Item = RouteUpdate;
+    fn decode(&self, _name: AduName, payload: &Bytes) -> Option<RouteUpdate> {
+        RouteUpdate::decode(payload.clone())
+    }
+    fn on_item(&mut self, name: AduName, item: RouteUpdate) {
+        let key = (name.source, item.prefix);
+        let e = self.latest.entry(key).or_insert((name.seq.0, item));
+        // Per-origin sequence numbers order the updates; repairs may arrive
+        // late and must not roll state back.
+        if name.seq.0 >= e.0 {
+            *e = (name.seq.0, item);
+        }
+    }
+}
+
+/// A routing node: the toolkit base specialized with [`RouteApp`].
+pub type RouteTool = SrmTool<RouteApp>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm::{PageId, SeqNo};
+
+    fn p(addr: u32, len: u8) -> Prefix {
+        Prefix { addr, len }
+    }
+
+    fn nm(origin: u64, seq: u64) -> AduName {
+        AduName::new(
+            SourceId(origin),
+            PageId::new(SourceId(origin), 0),
+            SeqNo(seq),
+        )
+    }
+
+    fn ann(prefix: Prefix, next_hop: u32, metric: u32) -> RouteUpdate {
+        RouteUpdate {
+            prefix,
+            next_hop,
+            metric,
+            withdrawn: false,
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_and_validates() {
+        let u = ann(p(0x0a000000, 8), 7, 100);
+        assert_eq!(RouteUpdate::decode(u.encode()), Some(u));
+        let w = RouteUpdate {
+            withdrawn: true,
+            ..u
+        };
+        assert_eq!(RouteUpdate::decode(w.encode()), Some(w));
+        assert_eq!(RouteUpdate::decode(Bytes::from_static(&[0; 13])), None);
+        assert_eq!(RouteUpdate::decode(Bytes::from_static(&[0; 15])), None);
+        // Prefix length 33 is invalid.
+        let mut bad = u.encode().to_vec();
+        bad[4] = 33;
+        assert_eq!(RouteUpdate::decode(Bytes::from(bad)), None);
+    }
+
+    #[test]
+    fn best_route_selection() {
+        let mut app = RouteApp::default();
+        let pre = p(0xc0a80000, 16);
+        app.on_item(nm(1, 0), ann(pre, 11, 20));
+        app.on_item(nm(2, 0), ann(pre, 22, 10));
+        let rib = app.rib();
+        assert_eq!(rib[&pre].origin, SourceId(2));
+        assert_eq!(rib[&pre].metric, 10);
+        // Metric tie goes to the smaller origin.
+        app.on_item(nm(1, 1), ann(pre, 11, 10));
+        assert_eq!(app.rib()[&pre].origin, SourceId(1));
+    }
+
+    #[test]
+    fn withdrawal_and_out_of_order_repairs() {
+        let mut app = RouteApp::default();
+        let pre = p(0x0a000000, 8);
+        // Seq 1 (withdraw) arrives before seq 0 (announce) — a repair
+        // delivered late must not resurrect the route.
+        app.on_item(
+            nm(1, 1),
+            RouteUpdate {
+                prefix: pre,
+                next_hop: 9,
+                metric: 5,
+                withdrawn: true,
+            },
+        );
+        app.on_item(nm(1, 0), ann(pre, 9, 5));
+        assert!(app.rib().is_empty(), "withdraw (seq 1) outranks announce (seq 0)");
+        // A genuinely newer announce brings it back.
+        app.on_item(nm(1, 2), ann(pre, 9, 4));
+        assert_eq!(app.rib()[&pre].metric, 4);
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        let pre_a = p(0x0a000000, 8);
+        let pre_b = p(0x0b000000, 8);
+        let updates = [
+            (nm(1, 0), ann(pre_a, 1, 10)),
+            (nm(2, 0), ann(pre_b, 2, 20)),
+            (nm(1, 1), ann(pre_b, 1, 15)),
+        ];
+        let mut fwd = RouteApp::default();
+        for (n, u) in updates {
+            fwd.on_item(n, u);
+        }
+        let mut rev = RouteApp::default();
+        for (n, u) in updates.into_iter().rev() {
+            rev.on_item(n, u);
+        }
+        assert_eq!(fwd.digest(), rev.digest());
+    }
+}

@@ -1,0 +1,28 @@
+//! # wb — a distributed whiteboard on SRM
+//!
+//! The application the SRM paper was built around (Sections II-C and
+//! III-E): a shared whiteboard where every member can create pages and
+//! draw, drawing operations are idempotent timestamped ADUs with unique
+//! persistent names, and reliability comes entirely from the SRM framework
+//! underneath.
+//!
+//! - [`drawop`]: the drawop ADU payloads (lines, circles, text, deletes)
+//!   with an integrity tag;
+//! - [`whiteboard`]: the converging canvas state — render order by
+//!   timestamp, deletes applied as patches;
+//! - [`app`]: [`WbApp`], an SRM agent plus canvas implementing
+//!   [`netsim::Application`], with the wb-1.59 fixed-timer profile and the
+//!   paper's "design" profile (distance-scaled adaptive timers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod drawop;
+pub mod render;
+pub mod whiteboard;
+
+pub use app::{wb159_config, wb_design_config, WbApp};
+pub use drawop::{Color, DrawOp, DrawOpError, OpKind, Point};
+pub use render::{render_page, Raster};
+pub use whiteboard::{PageCanvas, Whiteboard};

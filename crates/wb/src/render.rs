@@ -1,0 +1,290 @@
+//! A tiny ASCII rasterizer for whiteboard pages.
+//!
+//! wb's drawops are resolution-independent; this module rasterizes a
+//! [`PageCanvas`] onto a character grid so examples and tests can *see*
+//! (and diff) a page. Lines use Bresenham's algorithm, circles the
+//! midpoint algorithm, text is placed literally. Render order follows
+//! [`PageCanvas::render`], so two converged members rasterize identically.
+
+use crate::drawop::{OpKind, Point};
+use crate::whiteboard::PageCanvas;
+
+/// A fixed-size character raster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Raster {
+    width: usize,
+    height: usize,
+    cells: Vec<char>,
+}
+
+impl Raster {
+    /// A blank raster of `width` × `height` characters.
+    pub fn new(width: usize, height: usize) -> Self {
+        Raster {
+            width,
+            height,
+            cells: vec![' '; width * height],
+        }
+    }
+
+    /// Raster width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raster height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The character at (x, y); `None` outside the raster.
+    pub fn at(&self, x: i32, y: i32) -> Option<char> {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            None
+        } else {
+            Some(self.cells[y as usize * self.width + x as usize])
+        }
+    }
+
+    fn put(&mut self, x: i32, y: i32, c: char) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.cells[y as usize * self.width + x as usize] = c;
+        }
+    }
+
+    /// Count of non-blank cells.
+    pub fn ink(&self) -> usize {
+        self.cells.iter().filter(|&&c| c != ' ').count()
+    }
+
+    /// Render to a newline-joined string (with a border).
+    pub fn to_string_framed(&self) -> String {
+        let mut out = String::with_capacity((self.width + 3) * (self.height + 2));
+        let bar = || format!("+{}+\n", "-".repeat(self.width));
+        out.push_str(&bar());
+        for row in 0..self.height {
+            out.push('|');
+            for col in 0..self.width {
+                out.push(self.cells[row * self.width + col]);
+            }
+            out.push_str("|\n");
+        }
+        out.push_str(&bar());
+        out
+    }
+
+    /// Draw a Bresenham line.
+    pub fn line(&mut self, from: Point, to: Point, c: char) {
+        let (mut x0, mut y0, x1, y1) = (from.x, from.y, to.x, to.y);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.put(x0, y0, c);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Draw a midpoint circle.
+    pub fn circle(&mut self, center: Point, radius: u32, c: char) {
+        if radius == 0 {
+            self.put(center.x, center.y, c);
+            return;
+        }
+        let r = radius as i32;
+        let (cx, cy) = (center.x, center.y);
+        let mut x = r;
+        let mut y = 0;
+        let mut err = 1 - r;
+        while x >= y {
+            for (px, py) in [
+                (cx + x, cy + y),
+                (cx - x, cy + y),
+                (cx + x, cy - y),
+                (cx - x, cy - y),
+                (cx + y, cy + x),
+                (cx - y, cy + x),
+                (cx + y, cy - x),
+                (cx - y, cy - x),
+            ] {
+                self.put(px, py, c);
+            }
+            y += 1;
+            if err < 0 {
+                err += 2 * y + 1;
+            } else {
+                x -= 1;
+                err += 2 * (y - x) + 1;
+            }
+        }
+    }
+
+    /// Place text starting at `at`.
+    pub fn text(&mut self, at: Point, s: &str) {
+        for (i, ch) in s.chars().enumerate() {
+            self.put(at.x + i as i32, at.y, ch);
+        }
+    }
+}
+
+/// Rasterize a page's visible drawops in render order.
+pub fn render_page(canvas: &PageCanvas, width: usize, height: usize) -> Raster {
+    let mut r = Raster::new(width, height);
+    for (_, op) in canvas.render() {
+        match &op.kind {
+            OpKind::Line { from, to, .. } => r.line(*from, *to, '*'),
+            OpKind::Circle { center, radius, .. } => r.circle(*center, *radius, 'o'),
+            OpKind::Text { at, text, .. } => r.text(*at, text),
+            OpKind::Delete { .. } => {}
+            OpKind::Rect { a, b, .. } => {
+                let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+                let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+                r.line(Point { x: x0, y: y0 }, Point { x: x1, y: y0 }, '#');
+                r.line(Point { x: x0, y: y1 }, Point { x: x1, y: y1 }, '#');
+                r.line(Point { x: x0, y: y0 }, Point { x: x0, y: y1 }, '#');
+                r.line(Point { x: x1, y: y0 }, Point { x: x1, y: y1 }, '#');
+            }
+            OpKind::Polyline { points, .. } => {
+                for w in points.windows(2) {
+                    r.line(w[0], w[1], '.');
+                }
+                if points.len() == 1 {
+                    r.line(points[0], points[0], '.');
+                }
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drawop::{Color, DrawOp};
+    use netsim::SimTime;
+    use srm::{AduName, PageId, SeqNo, SourceId};
+
+    fn canvas_with(ops: Vec<OpKind>) -> PageCanvas {
+        let mut c = PageCanvas::default();
+        for (i, kind) in ops.into_iter().enumerate() {
+            let name = AduName::new(
+                SourceId(1),
+                PageId::new(SourceId(1), 0),
+                SeqNo(i as u64),
+            );
+            c.apply(
+                name,
+                DrawOp {
+                    timestamp: SimTime::from_secs(i as u64),
+                    kind,
+                },
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn horizontal_line_is_contiguous() {
+        let mut r = Raster::new(10, 3);
+        r.line(Point { x: 0, y: 1 }, Point { x: 9, y: 1 }, '*');
+        for x in 0..10 {
+            assert_eq!(r.at(x, 1), Some('*'));
+        }
+        assert_eq!(r.ink(), 10);
+    }
+
+    #[test]
+    fn diagonal_line_hits_endpoints() {
+        let mut r = Raster::new(10, 10);
+        r.line(Point { x: 9, y: 0 }, Point { x: 0, y: 9 }, '*');
+        assert_eq!(r.at(9, 0), Some('*'));
+        assert_eq!(r.at(0, 9), Some('*'));
+        assert_eq!(r.ink(), 10);
+    }
+
+    #[test]
+    fn circle_is_symmetric_and_hollow() {
+        let mut r = Raster::new(21, 21);
+        r.circle(Point { x: 10, y: 10 }, 5, 'o');
+        assert_eq!(r.at(15, 10), Some('o'));
+        assert_eq!(r.at(5, 10), Some('o'));
+        assert_eq!(r.at(10, 15), Some('o'));
+        assert_eq!(r.at(10, 5), Some('o'));
+        assert_eq!(r.at(10, 10), Some(' '), "hollow center");
+    }
+
+    #[test]
+    fn text_and_clipping() {
+        let mut r = Raster::new(5, 2);
+        r.text(Point { x: 3, y: 0 }, "hello");
+        assert_eq!(r.at(3, 0), Some('h'));
+        assert_eq!(r.at(4, 0), Some('e'));
+        // The rest clipped silently.
+        assert_eq!(r.ink(), 2);
+        // Out-of-range draws don't panic.
+        r.line(Point { x: -5, y: -5 }, Point { x: 99, y: 99 }, '*');
+    }
+
+    #[test]
+    fn rect_and_polyline_render() {
+        let c = canvas_with(vec![
+            OpKind::Rect {
+                a: Point { x: 1, y: 1 },
+                b: Point { x: 5, y: 3 },
+                color: Color::BLACK,
+            },
+            OpKind::Polyline {
+                points: vec![
+                    Point { x: 0, y: 5 },
+                    Point { x: 3, y: 5 },
+                    Point { x: 3, y: 7 },
+                ],
+                color: Color::BLUE,
+            },
+        ]);
+        let r = render_page(&c, 10, 9);
+        // Rectangle corners.
+        assert_eq!(r.at(1, 1), Some('#'));
+        assert_eq!(r.at(5, 3), Some('#'));
+        assert_eq!(r.at(3, 2), Some(' '), "rect is hollow");
+        // Polyline passes through the elbow.
+        assert_eq!(r.at(3, 5), Some('.'));
+        assert_eq!(r.at(3, 7), Some('.'));
+    }
+
+    #[test]
+    fn render_page_respects_deletes() {
+        let line = OpKind::Line {
+            from: Point { x: 0, y: 0 },
+            to: Point { x: 4, y: 0 },
+            color: Color::BLUE,
+        };
+        let c1 = canvas_with(vec![line.clone()]);
+        let with_ink = render_page(&c1, 10, 3);
+        assert!(with_ink.ink() > 0);
+        let target = AduName::new(SourceId(1), PageId::new(SourceId(1), 0), SeqNo(0));
+        let c2 = canvas_with(vec![line, OpKind::Delete { target }]);
+        let blank = render_page(&c2, 10, 3);
+        assert_eq!(blank.ink(), 0, "deleted line leaves no ink");
+    }
+
+    #[test]
+    fn framed_output_shape() {
+        let r = Raster::new(4, 2);
+        let s = r.to_string_framed();
+        assert_eq!(s, "+----+\n|    |\n|    |\n+----+\n");
+    }
+}

@@ -1,0 +1,218 @@
+//! The whiteboard canvas state (Section II-C).
+//!
+//! "Wb separates the drawing into pages … Any member can create a page and
+//! any member can draw on any page." Each page accumulates drawops keyed by
+//! their persistent names; rendering sorts by (timestamp, name) so all
+//! members converge to the same picture regardless of arrival order.
+//! Deletes are applied as *patches*: a delete that arrives before its
+//! target simply shadows it when it does arrive.
+
+use crate::drawop::{DrawOp, OpKind};
+use srm::{AduName, PageId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The drawops of one page.
+#[derive(Clone, Debug, Default)]
+pub struct PageCanvas {
+    ops: BTreeMap<AduName, DrawOp>,
+    deleted: BTreeSet<AduName>,
+}
+
+impl PageCanvas {
+    /// Apply a drawop under its name. Idempotent; re-application of the
+    /// same name is a no-op ("the name always refers to the same data").
+    pub fn apply(&mut self, name: AduName, op: DrawOp) {
+        if let OpKind::Delete { target } = op.kind {
+            self.deleted.insert(target);
+        }
+        self.ops.entry(name).or_insert(op);
+    }
+
+    /// The visible (non-deleted, non-delete) drawops in render order:
+    /// sorted by timestamp, ties broken by name.
+    pub fn render(&self) -> Vec<(&AduName, &DrawOp)> {
+        let mut visible: Vec<(&AduName, &DrawOp)> = self
+            .ops
+            .iter()
+            .filter(|(name, op)| !op.is_delete() && !self.deleted.contains(name))
+            .collect();
+        visible.sort_by_key(|(name, op)| (op.timestamp, **name));
+        visible
+    }
+
+    /// Total drawops held (including deletes and deleted ops).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been applied.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether `name` has been deleted (possibly before it arrived).
+    pub fn is_deleted(&self, name: &AduName) -> bool {
+        self.deleted.contains(name)
+    }
+}
+
+/// The whole whiteboard: every page this member has seen.
+#[derive(Clone, Debug, Default)]
+pub struct Whiteboard {
+    pages: BTreeMap<PageId, PageCanvas>,
+}
+
+impl Whiteboard {
+    /// Empty whiteboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a drawop delivered under ADU `name` (drawops live on
+    /// `name.page`).
+    pub fn apply(&mut self, name: AduName, op: DrawOp) {
+        self.pages.entry(name.page).or_default().apply(name, op);
+    }
+
+    /// The canvas of `page`, if anything has been drawn there.
+    pub fn page(&self, page: &PageId) -> Option<&PageCanvas> {
+        self.pages.get(page)
+    }
+
+    /// All known pages in order.
+    pub fn pages(&self) -> impl Iterator<Item = (&PageId, &PageCanvas)> {
+        self.pages.iter()
+    }
+
+    /// Number of known pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// A canonical digest of the visible state of every page, for checking
+    /// convergence between members in tests: identical whiteboards produce
+    /// identical digests regardless of arrival order.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (pid, canvas) in &self.pages {
+            mix(pid.creator.0);
+            mix(pid.number as u64);
+            for (name, op) in canvas.render() {
+                mix(name.source.0);
+                mix(name.seq.0);
+                mix(op.timestamp.as_nanos());
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drawop::{Color, Point};
+    use netsim::SimTime;
+    use srm::{SeqNo, SourceId};
+
+    fn name(src: u64, seq: u64) -> AduName {
+        AduName::new(SourceId(src), PageId::new(SourceId(1), 0), SeqNo(seq))
+    }
+
+    fn line_at(t: u64) -> DrawOp {
+        DrawOp {
+            timestamp: SimTime::from_secs(t),
+            kind: OpKind::Line {
+                from: Point { x: 0, y: 0 },
+                to: Point {
+                    x: t as i32,
+                    y: 0,
+                },
+                color: Color::BLUE,
+            },
+        }
+    }
+
+    fn delete_of(target: AduName, t: u64) -> DrawOp {
+        DrawOp {
+            timestamp: SimTime::from_secs(t),
+            kind: OpKind::Delete { target },
+        }
+    }
+
+    #[test]
+    fn render_sorts_by_timestamp_not_arrival() {
+        let mut wb = Whiteboard::new();
+        wb.apply(name(1, 1), line_at(20));
+        wb.apply(name(1, 0), line_at(10)); // arrives later, drawn earlier
+        let page = wb.page(&PageId::new(SourceId(1), 0)).unwrap();
+        let order: Vec<u64> = page.render().iter().map(|(n, _)| n.seq.0).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn idempotent_reapplication() {
+        let mut wb = Whiteboard::new();
+        wb.apply(name(1, 0), line_at(1));
+        wb.apply(name(1, 0), line_at(999)); // ignored: same name
+        let page = wb.page(&PageId::new(SourceId(1), 0)).unwrap();
+        assert_eq!(page.len(), 1);
+        assert_eq!(
+            page.render()[0].1.timestamp,
+            SimTime::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn delete_removes_target() {
+        let mut wb = Whiteboard::new();
+        wb.apply(name(1, 0), line_at(1));
+        wb.apply(name(1, 1), delete_of(name(1, 0), 2));
+        let page = wb.page(&PageId::new(SourceId(1), 0)).unwrap();
+        assert!(page.render().is_empty());
+        assert!(page.is_deleted(&name(1, 0)));
+    }
+
+    #[test]
+    fn delete_patches_late_arrival() {
+        // The delete arrives before the op it deletes (network reorder /
+        // repair): the target must stay invisible when it shows up.
+        let mut wb = Whiteboard::new();
+        wb.apply(name(1, 1), delete_of(name(1, 0), 2));
+        wb.apply(name(1, 0), line_at(1));
+        let page = wb.page(&PageId::new(SourceId(1), 0)).unwrap();
+        assert!(page.render().is_empty());
+    }
+
+    #[test]
+    fn digests_converge_across_arrival_orders() {
+        let ops = vec![
+            (name(1, 0), line_at(1)),
+            (name(2, 0), line_at(3)),
+            (name(1, 1), delete_of(name(2, 0), 4)),
+            (name(2, 1), line_at(2)),
+        ];
+        let mut a = Whiteboard::new();
+        for (n, o) in &ops {
+            a.apply(*n, o.clone());
+        }
+        let mut b = Whiteboard::new();
+        for (n, o) in ops.iter().rev() {
+            b.apply(*n, o.clone());
+        }
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn pages_are_independent() {
+        let mut wb = Whiteboard::new();
+        let p2 = PageId::new(SourceId(2), 0);
+        wb.apply(name(1, 0), line_at(1));
+        wb.apply(AduName::new(SourceId(1), p2, SeqNo(0)), line_at(2));
+        assert_eq!(wb.page_count(), 2);
+        assert_eq!(wb.page(&p2).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # srm-repro — workspace façade
+//!
+//! Re-exports the crates of the SRM reproduction so the repository-level
+//! `examples/` and `tests/` can exercise the whole public API:
+//!
+//! - [`netsim`]: the deterministic multicast network simulator;
+//! - [`srm`]: the Scalable Reliable Multicast framework (the paper's
+//!   contribution);
+//! - [`wb`]: the distributed whiteboard application;
+//! - [`srm_analysis`]: closed-form models of Sections IV and VI;
+//! - [`srm_baselines`]: the sender-based ACK and unicast-NACK baselines;
+//! - [`srm_sim`]: the JSON scenario runner;
+//! - [`srm_toolkit`]: the §IX-D toolkit with news and route-update tools;
+//! - [`srm_experiments`]: the figure-regeneration harness.
+
+pub use netsim;
+pub use srm;
+pub use srm_analysis;
+pub use srm_baselines;
+pub use srm_sim;
+pub use srm_toolkit;
+pub use srm_experiments;
+pub use wb;

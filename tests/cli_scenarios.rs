@@ -1,0 +1,56 @@
+//! Every sample scenario in `scenarios/` must parse and run to a healthy
+//! report — they are the `srm-sim` user's first contact with the project.
+
+use srm_sim::{run, Scenario};
+use std::path::PathBuf;
+
+fn scenario_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn load(name: &str) -> Scenario {
+    let path = scenario_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Scenario::from_json(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+}
+
+#[test]
+fn all_sample_scenarios_parse() {
+    let mut count = 0;
+    for entry in std::fs::read_dir(scenario_dir()).expect("scenarios dir") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            Scenario::from_json(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            count += 1;
+        }
+    }
+    assert!(count >= 3, "sample scenarios present ({count})");
+}
+
+#[test]
+fn fec_stream_scenario_needs_no_requests() {
+    let r = run(&load("fec_stream.json")).expect("runs");
+    assert_eq!(r.complete_receivers, r.members - 1);
+    assert_eq!(r.total_requests, 0, "parity covers the scripted losses");
+    assert!(r.hops.parity > 0);
+}
+
+#[test]
+fn star_scenario_recovers_shared_loss() {
+    let r = run(&load("local_recovery_dumbbell.json")).expect("runs");
+    assert_eq!(r.complete_receivers, r.members - 1);
+    assert!(r.total_requests >= 1);
+    assert!(r.per_member.iter().all(|m| m.all_recovered));
+}
+
+#[test]
+fn lossy_tree_scenario_converges() {
+    // The heavyweight sample: 30 members, 2% Bernoulli loss, live session
+    // messages. Converges within its settle budget.
+    let r = run(&load("lossy_tree.json")).expect("runs");
+    assert_eq!(r.complete_receivers, r.members - 1);
+    assert!(r.total_sessions > 0, "session machinery ran");
+}

@@ -1,0 +1,115 @@
+//! Properties of the multicast substrate that the paper's Section II-A
+//! bandwidth argument rests on: "Multicast delivery permits a much more
+//! efficient use of the available bandwidth, with at most one copy of each
+//! packet sent over each link."
+
+use bytes::Bytes;
+use netsim::generators::{random_labeled_tree, random_members};
+use netsim::routing::SpTree;
+use netsim::{Application, Ctx, GroupId, NodeId, Packet, SendOptions, SimTime, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const G: GroupId = GroupId(1);
+
+struct Recorder {
+    arrivals: Vec<SimTime>,
+}
+
+impl Application for Recorder {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: &Packet) {
+        self.arrivals.push(ctx.now);
+    }
+    fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On any random tree with any membership: every member other than the
+    /// sender receives exactly one copy, at exactly its shortest-path
+    /// delay, each link carries at most one copy, and the links used are
+    /// exactly the union of sender→member paths (the pruned tree).
+    #[test]
+    fn one_copy_per_link_and_exact_delays(
+        seed in 0u64..100_000,
+        n in 3usize..40,
+        g_frac in 0.2f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = random_labeled_tree(n, &mut rng);
+        let g = ((n as f64 * g_frac) as usize).max(2);
+        let members = random_members(&topo, g, &mut rng);
+        let sender = members[0];
+        let spt = SpTree::compute(&topo, sender);
+
+        let mut sim = Simulator::new(topo, seed);
+        for &m in &members {
+            sim.install(m, Recorder { arrivals: vec![] });
+            sim.join(m, G);
+        }
+        sim.send_from(sender, G, Bytes::from_static(b"x"), SendOptions::default());
+        prop_assert!(sim.run_until_idle(SimTime::from_secs(1_000_000)));
+
+        // Exactly-once delivery at exactly the SPT delay.
+        for &m in &members {
+            let r = sim.app(m).unwrap();
+            if m == sender {
+                prop_assert!(r.arrivals.is_empty(), "no self-loopback");
+            } else {
+                prop_assert_eq!(r.arrivals.len(), 1, "member {:?}", m);
+                let expect = spt.distance(m);
+                prop_assert_eq!(
+                    r.arrivals[0],
+                    SimTime::ZERO + expect,
+                    "member {:?} delay", m
+                );
+            }
+        }
+        // At most one copy per link, and exactly the pruned-tree links.
+        let mut expected_links: std::collections::BTreeSet<u32> = Default::default();
+        for &m in &members {
+            for l in spt.path_links(m) {
+                expected_links.insert(l.0);
+            }
+        }
+        for (i, l) in sim.stats.links.iter().enumerate() {
+            let on_tree = expected_links.contains(&(i as u32));
+            prop_assert_eq!(
+                l.packets,
+                if on_tree { 1 } else { 0 },
+                "link {} crossings", i
+            );
+        }
+    }
+
+    /// Unicast along the same topology takes exactly the path-length hops;
+    /// multicast to the full membership never costs more than the sum of
+    /// unicasts (the Section II-A bandwidth argument).
+    #[test]
+    fn multicast_never_beats_unicast_sum(seed in 0u64..100_000, n in 4usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = random_labeled_tree(n, &mut rng);
+        let members: Vec<NodeId> = topo.nodes().collect();
+        let sender = NodeId(0);
+        let spt = SpTree::compute(&topo, sender);
+        let unicast_sum: u64 = members
+            .iter()
+            .filter(|&&m| m != sender)
+            .map(|&m| spt.hop_count(m) as u64)
+            .sum();
+
+        let mut sim = Simulator::new(topo, seed);
+        for &m in &members {
+            sim.install(m, Recorder { arrivals: vec![] });
+            sim.join(m, G);
+        }
+        sim.send_from(sender, G, Bytes::from_static(b"x"), SendOptions::default());
+        prop_assert!(sim.run_until_idle(SimTime::from_secs(1_000_000)));
+        let multicast_hops = sim.stats.total_hops();
+        prop_assert!(multicast_hops <= unicast_sum, "{multicast_hops} <= {unicast_sum}");
+        // On a tree with full membership it is exactly n−1 crossings.
+        prop_assert_eq!(multicast_hops, (n - 1) as u64);
+    }
+}
