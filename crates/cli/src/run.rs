@@ -9,9 +9,9 @@ use netsim::generators;
 use netsim::loss::{BernoulliLoss, NoLoss, ScriptedDrop};
 use netsim::routing::SpTree;
 use netsim::{flow, GroupId, NodeId, SimDuration, Simulator, Topology};
+use crate::json::Json;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 use srm::config::RecoveryGroupConfig;
 use srm::{
     FecConfig, HierarchyConfig, PageId, RateLimit, RecoveryScope, SourceId, SrmAgent, SrmConfig,
@@ -47,7 +47,7 @@ impl std::fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// Per-member outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MemberReport {
     /// Node id.
     pub node: u32,
@@ -64,7 +64,7 @@ pub struct MemberReport {
 }
 
 /// Whole-run outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Member count.
     pub members: usize,
@@ -91,7 +91,7 @@ pub struct Report {
 }
 
 /// Link-crossing totals by traffic class.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct HopsReport {
     /// Original data.
     pub data: u64,
@@ -332,7 +332,47 @@ impl Report {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        let num = |n: f64| Json::Num(n);
+        let per_member: Vec<Json> = self
+            .per_member
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("node".to_string(), num(m.node as f64)),
+                    ("adus_held".to_string(), num(m.adus_held as f64)),
+                    ("requests_sent".to_string(), num(m.requests_sent as f64)),
+                    ("repairs_sent".to_string(), num(m.repairs_sent as f64)),
+                    ("fec_recoveries".to_string(), num(m.fec_recoveries as f64)),
+                    ("all_recovered".to_string(), Json::Bool(m.all_recovered)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("members".to_string(), num(self.members as f64)),
+            ("source".to_string(), num(self.source as f64)),
+            ("adus_sent".to_string(), num(self.adus_sent as f64)),
+            (
+                "complete_receivers".to_string(),
+                num(self.complete_receivers as f64),
+            ),
+            ("total_requests".to_string(), num(self.total_requests as f64)),
+            ("total_repairs".to_string(), num(self.total_repairs as f64)),
+            ("total_sessions".to_string(), num(self.total_sessions as f64)),
+            (
+                "hops".to_string(),
+                Json::Obj(vec![
+                    ("data".to_string(), num(self.hops.data as f64)),
+                    ("requests".to_string(), num(self.hops.requests as f64)),
+                    ("repairs".to_string(), num(self.hops.repairs as f64)),
+                    ("sessions".to_string(), num(self.hops.sessions as f64)),
+                    ("parity".to_string(), num(self.hops.parity as f64)),
+                ]),
+            ),
+            ("per_member".to_string(), Json::Arr(per_member)),
+            ("sim_seconds".to_string(), num(self.sim_seconds)),
+            ("events".to_string(), num(self.events as f64)),
+        ])
+        .pretty()
     }
 }
 

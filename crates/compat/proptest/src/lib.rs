@@ -1,0 +1,599 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! The workspace builds offline, so the property-testing surface its test
+//! suites use is reimplemented here: the [`proptest!`] macro, the
+//! [`Strategy`] trait with `prop_map`, numeric-range / tuple / collection /
+//! option / `Just` / `prop_oneof!` strategies, `any::<T>()` for primitives,
+//! and `prop::sample::Index`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs via `Debug`-free
+//!   panic message (the case number and assertion text) and stops.
+//! - **Deterministic generation.** Cases are derived from a fixed seed mixed
+//!   with the case index, so test runs are bit-for-bit reproducible — the
+//!   same property the simulator itself guarantees.
+//! - Regex string strategies support only the character-class form
+//!   `[chars]{lo,hi}` actually used by this workspace.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type property bodies are wrapped into.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives the cases of one property. Created by the [`proptest!`] macro.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner for the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// How many cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The deterministic generator for case `case` of test `test_name`.
+    pub fn rng_for(&self, test_name: &str, case: u32) -> StdRng {
+        // FNV-1a over the test name decorrelates different properties that
+        // share strategy shapes; the case index advances the stream.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! tuple_strategy {
+    ($($s:ident.$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Minimal regex-subset string strategy: `"[chars]{lo,hi}"` draws a string
+/// of `lo..=hi` characters uniformly from the class (with `a-z` ranges
+/// expanded); any other pattern generates itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        if let Some((alphabet, lo, hi)) = parse_class_repeat(self) {
+            let len = rng.random_range(lo..=hi);
+            (0..len)
+                .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+                .collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i] as u32, class[i + 2] as u32);
+            for c in a..=b {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    let reps = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    let lo = reps.0.trim().parse().ok()?;
+    let hi = reps.1.trim().parse().ok()?;
+    if alphabet.is_empty() || lo > hi {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+/// Weighted choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// A union of weighted strategies. Panics if `options` is empty.
+    pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.random_range(0..total.max(1));
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.options[0].1.generate(rng)
+    }
+}
+
+/// Types with a canonical strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random::<u64>() as i64 as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.random::<f64>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        rng.random::<f64>() as f32
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary(_rng: &mut StdRng) -> Self {}
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Range, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` of a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy that is `None` one time in five and `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_range(0u32..5) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling.
+
+    use super::Arbitrary;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A position into a collection whose length is only known at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements. Panics on zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Index {
+            Index(rng.random::<u64>())
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace re-exported by the prelude.
+
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! The glob-importable prelude.
+
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Define property tests.
+///
+/// Supports the upstream form used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// parameters are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::TestRunner::new($cfg);
+            for case in 0..runner.cases() {
+                let mut __rng = runner.rng_for(stringify!($name), case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                if let Err(e) = outcome {
+                    panic!("proptest case {case} of {}: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Choose uniformly (or by `weight =>` prefixes) among strategies that share
+/// a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($w as u32, $crate::Strategy::boxed($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($s))),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let runner = crate::TestRunner::new(ProptestConfig::with_cases(1));
+        let mut rng = runner.rng_for("unit", 0);
+        for _ in 0..1000 {
+            let v = (0u64..10, -5i32..5).generate(&mut rng);
+            assert!(v.0 < 10 && (-5..5).contains(&v.1));
+            let s = (0u8..3).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(s <= 4 && s % 2 == 0);
+            let vec = prop::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&vec.len()));
+            let exact = prop::collection::vec(Just(7u8), 3).generate(&mut rng);
+            assert_eq!(exact, vec![7, 7, 7]);
+            let idx = any::<prop::sample::Index>().generate(&mut rng);
+            assert!(idx.index(13) < 13);
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_reaches_every_alternative() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let runner = crate::TestRunner::new(ProptestConfig::default());
+        let mut rng = runner.rng_for("oneof", 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let runner = crate::TestRunner::new(ProptestConfig::default());
+        let strat = prop::collection::vec(0u64..1000, 1..20);
+        let a = strat.generate(&mut runner.rng_for("det", 5));
+        let b = strat.generate(&mut runner.rng_for("det", 5));
+        let c = strat.generate(&mut runner.rng_for("det", 6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u32..100, (a, b) in (any::<bool>(), 0u8..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(a, a);
+            prop_assert!(b < 4, "b was {}", b);
+        }
+    }
+}

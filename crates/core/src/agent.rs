@@ -123,6 +123,11 @@ pub struct SrmAgent {
     catalog_reply_timer: Option<TimerHandle>,
     /// Pages learned from catalogs that the application has not yet seen.
     discovered_pages: Vec<PageId>,
+    /// True after a crash-restart until our pre-crash state is recovered:
+    /// while set, the own-source guards are lifted so we can request our
+    /// *own* past ADUs back from the group like any late joiner (§III-A —
+    /// "recovery ... does not depend on the original source").
+    rejoining: bool,
     /// Passive meter over data/repair bytes seen (sent + received), for
     /// §III-A's "measured adaptively" session bandwidth.
     data_meter: crate::bandwidth::RateMeter,
@@ -179,6 +184,7 @@ impl SrmAgent {
             hier: cfg.session_hierarchy.map(HierarchyState::new),
             catalog_reply_timer: None,
             discovered_pages: Vec::new(),
+            rejoining: false,
             data_meter: crate::bandwidth::RateMeter::new(SimDuration::from_secs(30)),
             store,
             cfg,
@@ -195,7 +201,7 @@ impl SrmAgent {
     /// representative (Section IX-A). `true` when the hierarchy is off —
     /// every member then reports globally.
     pub fn is_representative(&self) -> bool {
-        self.hier.as_ref().map_or(true, |h| h.is_rep)
+        self.hier.as_ref().is_none_or(|h| h.is_rep)
     }
 
     // ---- public API -------------------------------------------------------
@@ -364,7 +370,10 @@ impl SrmAgent {
         let msg = Message {
             header: Header {
                 sender: self.id,
-                timestamp: ctx.now,
+                // The node's local clock, so clock skew/drift faults are
+                // visible to peers' distance estimators just as NTP error
+                // would be (identical to ctx.now when unfaulted).
+                timestamp: ctx.local_now(),
             },
             body,
         };
@@ -479,8 +488,9 @@ impl SrmAgent {
     /// Begin recovery for each newly discovered missing ADU.
     fn start_requests(&mut self, ctx: &mut Ctx<'_>, missing: Vec<AduName>) {
         for name in missing {
-            if name.source == self.id {
-                continue; // our own stream cannot be missing
+            if name.source == self.id && !self.rejoining {
+                continue; // our own stream cannot be missing (unless we
+                          // crashed and are recovering our pre-crash state)
             }
             if self.requests.contains_key(&name) || self.store.has(&name) {
                 continue;
@@ -831,6 +841,15 @@ impl SrmAgent {
                 via_repair: d.is_repair,
             });
         }
+        // Seeing our own stream (a repair of pre-crash data after a
+        // restart) must advance our sequence allocator past it, or new
+        // ADUs would collide with recovered ones.
+        if name.source == self.id {
+            let e = self.next_seq.entry(name.page).or_insert(SeqNo::ZERO);
+            if name.seq.0 >= e.0 {
+                *e = SeqNo(name.seq.0 + 1);
+            }
+        }
         self.start_requests(ctx, missing);
         // Complete any pending recovery for this name.
         self.complete_recovery(ctx, name);
@@ -993,15 +1012,18 @@ impl SrmAgent {
         // Echo processing: find the echo of our own timestamp.
         for e in &s.echoes {
             if e.peer == self.id {
-                self.est.process_echo(hdr.sender, e, ctx.now);
+                let local = ctx.local_now();
+                self.est.process_echo(hdr.sender, e, local);
             }
         }
         self.neighborhood
             .update(hdr.sender, s.loss_rate, s.loss_fingerprint.clone());
-        // Tail-loss detection from the reported state.
+        // Tail-loss detection from the reported state. A rejoining member
+        // treats reports about its own pre-crash stream like anyone else's:
+        // that is what lets session messages drive its state recovery.
         let mut missing = Vec::new();
         for (src, seq) in &s.state {
-            if *src == self.id {
+            if *src == self.id && !self.rejoining {
                 continue;
             }
             missing.extend(self.store.note_exists(*src, s.page, *seq));
@@ -1055,13 +1077,21 @@ impl SrmAgent {
                 self.discovered_pages.push(p);
             }
         }
+        // A rejoining member chases every discovered page's state itself
+        // rather than waiting for an application to do it: the page replies
+        // (session messages) then drive gap detection for the lost history.
+        if self.rejoining {
+            for p in std::mem::take(&mut self.discovered_pages) {
+                self.request_page_state(ctx, p);
+            }
+        }
     }
 
     fn emit_session(&mut self, ctx: &mut Ctx<'_>, page: PageId) {
         let body = Body::Session(SessionBody {
             page,
             state: self.store.page_state(page),
-            echoes: self.est.make_echoes(ctx.now),
+            echoes: self.est.make_echoes(ctx.local_now()),
             loss_rate: self.loss_rate(),
             loss_fingerprint: self.fingerprint.names(),
         });
@@ -1122,6 +1152,31 @@ impl Application for SrmAgent {
         }
     }
 
+    fn on_crash(&mut self) {
+        // Full state loss: rebuild from scratch, carrying over only the
+        // identity, configuration, and the observer-side metrics (the
+        // experiment is watching the crash, the member is not).
+        let mut metrics = std::mem::take(&mut self.metrics);
+        metrics.drop_inflight();
+        metrics.crashes += 1;
+        let session_enabled = self.session_enabled;
+        *self = SrmAgent::new(self.id, self.group, self.cfg.clone());
+        self.session_enabled = session_enabled;
+        self.metrics = metrics;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // Rejoin as a late joiner (§III-A): learn which pages exist, then
+        // chase their state. `rejoining` lifts the own-source guards so we
+        // recover even our own pre-crash stream from the group.
+        self.rejoining = true;
+        ctx.join(self.group);
+        if self.session_enabled {
+            self.schedule_session(ctx);
+        }
+        self.request_page_catalog(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
         let msg = match Message::decode(pkt.payload.clone()) {
             Ok(m) => m,
@@ -1135,7 +1190,7 @@ impl Application for SrmAgent {
             return; // stale loopback; ignore our own traffic
         }
         self.est
-            .note_timestamp(msg.header.sender, msg.header.timestamp, ctx.now);
+            .note_timestamp(msg.header.sender, msg.header.timestamp, ctx.local_now());
         let hdr = msg.header;
         match msg.body {
             Body::Data(d) => self.handle_data(ctx, pkt, &hdr, d),

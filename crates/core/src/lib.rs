@@ -85,7 +85,7 @@ pub use clock::DistanceEstimator;
 pub use fec::{FecConfig, Parity};
 pub use hierarchy::{HierarchyConfig, HierarchyState, SessionScope};
 pub use config::{AdaptiveConfig, RateLimit, RecoveryScope, SrmConfig, TimerParams};
-pub use metrics::{AgentMetrics, RecoveryRecord, RepairRecord};
+pub use metrics::{AgentMetrics, FaultEpisode, RecoveryRecord, RepairRecord};
 pub use name::{AduName, PageId, SeqNo, SourceId};
 pub use store::AduStore;
 pub use wire::{Body, DataBody, Header, Message, RequestBody, SessionBody, WireError};

@@ -92,6 +92,9 @@ pub struct AgentMetrics {
     pub recoveries: BTreeMap<AduName, RecoveryRecord>,
     /// Repair episodes, keyed by ADU.
     pub repairs: BTreeMap<AduName, RepairRecord>,
+    /// Host crashes survived (incremented on each
+    /// [`netsim::Application::on_crash`]).
+    pub crashes: u64,
 }
 
 impl AgentMetrics {
@@ -115,6 +118,52 @@ impl AgentMetrics {
     /// True if every detected loss has been recovered.
     pub fn all_recovered(&self) -> bool {
         self.recoveries.values().all(|r| r.recovered_at.is_some())
+    }
+
+    /// Drop episode records that were cut short by a crash: unrecovered
+    /// recoveries and repair episodes that never produced a repair. A
+    /// crashed host's in-flight state is gone; keeping the dangling records
+    /// would make post-restart `all_recovered` checks report pre-crash
+    /// losses the restarted member no longer knows about.
+    pub fn drop_inflight(&mut self) {
+        self.recoveries.retain(|_, r| r.recovered_at.is_some());
+        self.repairs
+            .retain(|_, r| r.sent || r.repair_delay.is_some());
+    }
+}
+
+/// One scripted-fault episode as observed by an experiment driver: what
+/// happened between a fault and the return to group-wide consistency.
+#[derive(Clone, Debug)]
+pub struct FaultEpisode {
+    /// Which fault this episode covers (e.g. `"partition"`, `"crash"`).
+    pub label: String,
+    /// When the fault was injected.
+    pub started_at: SimTime,
+    /// When every member was consistent again, if reached.
+    pub reconsistent_at: Option<SimTime>,
+    /// Losses the fault caused (distinct (member, ADU) detections).
+    pub losses: u64,
+    /// Requests multicast during the recovery window, summed over members.
+    pub dup_requests: u64,
+    /// Repairs multicast during the recovery window, summed over members.
+    pub dup_repairs: u64,
+}
+
+impl FaultEpisode {
+    /// Fault injection → full reconsistency, the headline robustness metric.
+    pub fn time_to_reconsistency(&self) -> Option<SimDuration> {
+        self.reconsistent_at.map(|t| t.since(self.started_at))
+    }
+
+    /// Requests per loss: 1.0 means exactly one request per lost ADU (the
+    /// ideal); larger values measure the post-fault request storm.
+    pub fn dup_requests_per_loss(&self) -> f64 {
+        if self.losses == 0 {
+            0.0
+        } else {
+            self.dup_requests as f64 / self.losses as f64
+        }
     }
 }
 
@@ -161,6 +210,44 @@ mod tests {
         m.recoveries.insert(done.name, done);
         assert!(m.all_recovered());
         assert_eq!(m.completed_recoveries().count(), 1);
+    }
+
+    #[test]
+    fn drop_inflight_keeps_only_completed() {
+        let mut m = AgentMetrics::default();
+        m.recoveries.insert(rec(1, None).name, rec(1, None));
+        assert!(!m.all_recovered());
+        m.drop_inflight();
+        assert!(m.recoveries.is_empty());
+        assert!(m.all_recovered());
+        let done = rec(2, Some(5));
+        m.recoveries.insert(done.name, done);
+        m.drop_inflight();
+        assert_eq!(m.recoveries.len(), 1);
+    }
+
+    #[test]
+    fn fault_episode_metrics() {
+        let ep = FaultEpisode {
+            label: "partition".into(),
+            started_at: SimTime::from_secs(10),
+            reconsistent_at: Some(SimTime::from_secs(40)),
+            losses: 5,
+            dup_requests: 10,
+            dup_repairs: 7,
+        };
+        assert_eq!(
+            ep.time_to_reconsistency(),
+            Some(SimDuration::from_secs(30))
+        );
+        assert_eq!(ep.dup_requests_per_loss(), 2.0);
+        let unresolved = FaultEpisode {
+            reconsistent_at: None,
+            losses: 0,
+            ..ep
+        };
+        assert_eq!(unresolved.time_to_reconsistency(), None);
+        assert_eq!(unresolved.dup_requests_per_loss(), 0.0);
     }
 
     #[test]

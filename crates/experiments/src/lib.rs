@@ -19,6 +19,7 @@
 //! | [`checks`] | §IV   | chain/star closed forms vs simulation |
 //! | [`baseline_compare`] | §II-A / §VI \[29\] | ACK implosion; unicast vs multicast NACK bandwidth |
 //! | [`robustness`] | §V-B / §VII-A | topology-variation sweep |
+//! | [`faults`] | §I / §III robustness claim | partition/crash/flaky-link recovery |
 //! | [`repair_sweep`] | §VI | duplicate repairs vs delay as D2 varies |
 //! | [`adaptive_trace`] | §VII-A | timer-parameter trajectories |
 
@@ -28,6 +29,7 @@
 pub mod adaptive_trace;
 pub mod baseline_compare;
 pub mod checks;
+pub mod faults;
 pub mod fig12;
 pub mod fig14;
 pub mod fig15;
@@ -71,7 +73,7 @@ impl Default for RunOpts {
 pub const FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig12", "fig13", "fig14", "fig15",
     "chain-check", "star-check", "baseline-compare", "robustness", "repair-sweep",
-    "adaptive-trace",
+    "adaptive-trace", "faults",
 ];
 
 /// Dispatch a figure by name.
@@ -93,6 +95,7 @@ pub fn run_figure(name: &str, opts: &RunOpts) -> Option<Vec<Table>> {
         "robustness" => robustness::run(opts),
         "repair-sweep" => repair_sweep::run(opts),
         "adaptive-trace" => adaptive_trace::run(opts),
+        "faults" => faults::run(opts),
         _ => return None,
     })
 }

@@ -4,11 +4,19 @@
 //! routing trees), so parallelism works at the granularity of whole runs:
 //! every worker thread *constructs* its own sessions from a `Send` input.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Map `f` over `inputs` on up to `threads` worker threads, preserving
 /// input order in the output.
+///
+/// A panic inside `f` (e.g. an assertion in a figure closure) is caught in
+/// the worker and re-raised **once, on the calling thread, with the original
+/// payload** after all workers drain. Without this, the panicking worker
+/// would poison the slot mutexes and every sibling thread — plus the parent
+/// — would die with opaque `PoisonError` unwinds that bury the real failure
+/// (the "harness poisoning" failure mode).
 pub fn parallel_map<I, T, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<T>
 where
     I: Send,
@@ -25,6 +33,7 @@ where
     }
     let inputs: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let outputs: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -33,15 +42,39 @@ where
                 if i >= n {
                     break;
                 }
-                let input = inputs[i].lock().unwrap().take().expect("claimed once");
-                let out = f(input);
-                *outputs[i].lock().unwrap() = Some(out);
+                // Tolerate poison when claiming work: another worker
+                // panicking while holding an unrelated slot must not
+                // cascade. `take()` is still claim-once via the shared
+                // `next` counter.
+                let input = inputs[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("claimed once");
+                match catch_unwind(AssertUnwindSafe(|| f(input))) {
+                    Ok(out) => {
+                        *outputs[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    }
+                    Err(payload) => {
+                        let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                        // First panic wins; later ones are dropped.
+                        slot.get_or_insert(payload);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
     outputs
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -78,5 +111,46 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(vec![5], 16, |x: i32| x);
         assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn worker_panic_reaches_parent_with_original_message() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..50).collect(), 8, |x: i32| {
+                assert!(x != 23, "item {x} exploded");
+                x
+            })
+        }))
+        .expect_err("the worker panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("item 23 exploded"),
+            "original panic message survives, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_does_not_poison_siblings() {
+        // All non-panicking items still complete even when one worker dies
+        // mid-sweep; the parent then re-panics. If poisoning cascaded, the
+        // sibling workers would abort early with PoisonError instead.
+        let done = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..40).collect(), 4, |x: i32| {
+                if x == 0 {
+                    panic!("first item dies");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        assert!(r.is_err());
+        assert!(
+            done.load(Ordering::Relaxed) >= 30,
+            "siblings kept draining the queue"
+        );
     }
 }

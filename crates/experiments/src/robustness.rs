@@ -68,6 +68,9 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
         .into_iter()
         .flat_map(|(label, topo)| (0..sims).map(move |rep| (label, topo, rep)))
         .collect();
+    // A round that fails to recover becomes a failure row, not a panic: an
+    // assert here would kill a worker thread and poison the whole sweep
+    // (the other topologies' results would be lost with it).
     let results = parallel_map(inputs, opts.threads, move |(label, topo, rep)| {
         let spec = ScenarioSpec {
             topo,
@@ -79,16 +82,18 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
         };
         let mut s = spec.build();
         let mut last = (0u64, 0u64, 0.0f64);
-        for _ in 0..rounds {
+        for round in 0..rounds {
             let r = run_round(&mut s, 1_000_000.0);
-            assert!(r.all_recovered, "robustness round failed on {label}");
+            if !r.all_recovered {
+                return (label, Err(format!("round {round} did not recover")));
+            }
             last = (
                 r.requests,
                 r.repairs,
                 r.last_member_delay_over_rtt(&s).unwrap_or(0.0),
             );
         }
-        (label, last)
+        (label, Ok(last))
     });
 
     let mut t = Table::new(
@@ -100,30 +105,40 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
             "repairs_med",
             "repairs_max",
             "delay/RTT_med",
+            "failures",
         ],
     );
     for (label, _) in variants(opts) {
-        let sel: Vec<&(u64, u64, f64)> = results
+        let sel: Vec<&Result<(u64, u64, f64), String>> = results
             .iter()
             .filter(|(l, _)| *l == label)
             .map(|(_, v)| v)
             .collect();
-        let req: Vec<f64> = sel.iter().map(|v| v.0 as f64).collect();
-        let rep: Vec<f64> = sel.iter().map(|v| v.1 as f64).collect();
-        let del: Vec<f64> = sel.iter().map(|v| v.2).collect();
-        let (sq, sp, sd) = (
-            summarize(&req).unwrap(),
-            summarize(&rep).unwrap(),
-            summarize(&del).unwrap(),
-        );
-        t.row(vec![
-            label.to_string(),
-            f(sq.median),
-            f(sq.max),
-            f(sp.median),
-            f(sp.max),
-            f(sd.median),
-        ]);
+        let failures = sel.iter().filter(|r| r.is_err()).count();
+        let ok: Vec<&(u64, u64, f64)> = sel.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let req: Vec<f64> = ok.iter().map(|v| v.0 as f64).collect();
+        let rep: Vec<f64> = ok.iter().map(|v| v.1 as f64).collect();
+        let del: Vec<f64> = ok.iter().map(|v| v.2).collect();
+        match (summarize(&req), summarize(&rep), summarize(&del)) {
+            (Some(sq), Some(sp), Some(sd)) => t.row(vec![
+                label.to_string(),
+                f(sq.median),
+                f(sq.max),
+                f(sp.median),
+                f(sp.max),
+                f(sd.median),
+                failures.to_string(),
+            ]),
+            _ => t.row(vec![
+                label.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                failures.to_string(),
+            ]),
+        }
     }
     vec![t]
 }
@@ -141,6 +156,8 @@ mod tests {
         let tables = run(&opts);
         assert_eq!(tables[0].rows.len(), variants(&opts).len());
         for row in &tables[0].rows {
+            let failures: usize = row[6].parse().unwrap();
+            assert_eq!(failures, 0, "{}: every round recovers", row[0]);
             let med_req: f64 = row[1].parse().unwrap();
             let med_rep: f64 = row[3].parse().unwrap();
             assert!(

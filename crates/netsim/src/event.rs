@@ -37,6 +37,12 @@ pub enum EventKind {
         /// Application-interpreted token.
         token: u64,
     },
+    /// A scripted fault from the installed [`crate::FaultPlan`] takes
+    /// effect (`index` into the plan's event list).
+    Fault {
+        /// Position in the fault plan.
+        index: usize,
+    },
 }
 
 #[derive(Debug)]

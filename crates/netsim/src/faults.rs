@@ -1,0 +1,319 @@
+//! Scripted fault injection: link failures, partitions, node crashes and
+//! restarts, loss bursts, and clock faults.
+//!
+//! The SRM paper argues the framework "is robust to host failures and
+//! network partition" because consistency is driven by receiver-initiated
+//! recovery and periodic session messages, not by sender state. A
+//! [`FaultPlan`] lets experiments script exactly those situations against
+//! the deterministic simulator: every fault fires at a fixed simulated
+//! instant through the ordinary event queue, so a faulted run is still a
+//! pure function of its inputs and seed.
+//!
+//! Semantics:
+//!
+//! - **Link faults** ([`FaultEvent::LinkDown`] / [`FaultEvent::LinkUp`])
+//!   remove a link from the forwarding substrate. Routing recomputes
+//!   shortest-path trees over the surviving links (packets already in
+//!   flight on the link still arrive — the fault takes effect for
+//!   subsequent crossings).
+//! - **Partitions** ([`FaultEvent::Partition`] / [`FaultEvent::Heal`]) down
+//!   a whole cut set at once and restore exactly that set on heal. Use
+//!   [`partition_cut`] to compute the cut separating a node set from the
+//!   rest of a topology.
+//! - **Node crashes** ([`FaultEvent::NodeCrash`]) kill the *application* on
+//!   a node with full state loss: pending timers are invalidated, packets
+//!   are no longer delivered, and the node leaves all groups. The node's
+//!   router keeps forwarding — hosts die, the network does not.
+//!   [`FaultEvent::NodeRestart`] brings the application back through
+//!   [`crate::Application::on_restart`], where a protocol can rejoin as a
+//!   late joiner.
+//! - **Loss bursts** ([`FaultEvent::LossBurst`]) overlay a time-windowed
+//!   Bernoulli drop process (its own seeded RNG) on top of the installed
+//!   loss model — a flaky link episode.
+//! - **Clock faults** ([`FaultEvent::ClockSkew`] / [`FaultEvent::ClockDrift`])
+//!   perturb a node's *local* clock as observed through
+//!   [`crate::Ctx::local_now`]; the simulator's true clock (event ordering,
+//!   timers) is unaffected.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkId, NodeId, Topology};
+use std::fmt;
+
+/// One scripted fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Take a link out of service.
+    LinkDown(LinkId),
+    /// Return a link to service.
+    LinkUp(LinkId),
+    /// Down every link in `cut` at once (remembered for [`FaultEvent::Heal`]).
+    Partition {
+        /// The links severed by the partition.
+        cut: Vec<LinkId>,
+    },
+    /// Restore the links downed by the most recent partition.
+    Heal,
+    /// Crash the application on a node (full state loss; router survives).
+    NodeCrash(NodeId),
+    /// Restart a crashed node's application
+    /// (fires [`crate::Application::on_restart`]).
+    NodeRestart(NodeId),
+    /// A Bernoulli-loss episode: drop probability `p` on `link`
+    /// (`None` = every link) for `duration` from the event time.
+    LossBurst {
+        /// Affected link; `None` applies the burst everywhere.
+        link: Option<LinkId>,
+        /// Per-crossing drop probability.
+        p: f64,
+        /// How long the episode lasts.
+        duration: SimDuration,
+    },
+    /// Set a node's local-clock offset (seconds, may be negative).
+    ClockSkew {
+        /// The node whose clock is skewed.
+        node: NodeId,
+        /// Offset added to the true time, in seconds.
+        offset_secs: f64,
+    },
+    /// Set a node's local-clock drift rate in parts per million
+    /// (accumulates from the event time; previously accumulated drift is
+    /// folded into the offset so local time stays continuous).
+    ClockDrift {
+        /// The node whose clock drifts.
+        node: NodeId,
+        /// Drift rate in parts per million (may be negative).
+        ppm: f64,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::LinkDown(l) => write!(f, "link-down {l}"),
+            FaultEvent::LinkUp(l) => write!(f, "link-up {l}"),
+            FaultEvent::Partition { cut } => write!(f, "partition cut={cut:?}"),
+            FaultEvent::Heal => write!(f, "heal"),
+            FaultEvent::NodeCrash(n) => write!(f, "crash {n}"),
+            FaultEvent::NodeRestart(n) => write!(f, "restart {n}"),
+            FaultEvent::LossBurst { link, p, duration } => match link {
+                Some(l) => write!(f, "loss-burst {l} p={p} for {duration}s"),
+                None => write!(f, "loss-burst all p={p} for {duration}s"),
+            },
+            FaultEvent::ClockSkew { node, offset_secs } => {
+                write!(f, "clock-skew {node} {offset_secs:+}s")
+            }
+            FaultEvent::ClockDrift { node, ppm } => write!(f, "clock-drift {node} {ppm:+}ppm"),
+        }
+    }
+}
+
+/// A time-ordered script of [`FaultEvent`]s.
+///
+/// Events are applied through the simulator's event queue; events given at
+/// the same instant apply in the order they were added. Install a plan with
+/// [`crate::Simulator::set_fault_plan`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scripted `(time, fault)` pairs, in insertion order.
+    pub events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `event` at `at`. Returns `self` for chaining.
+    pub fn at(mut self, at: SimTime, event: FaultEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// Schedule a link failure.
+    pub fn link_down(self, at: SimTime, link: LinkId) -> Self {
+        self.at(at, FaultEvent::LinkDown(link))
+    }
+
+    /// Schedule a link repair.
+    pub fn link_up(self, at: SimTime, link: LinkId) -> Self {
+        self.at(at, FaultEvent::LinkUp(link))
+    }
+
+    /// Schedule a partition severing `cut`.
+    pub fn partition(self, at: SimTime, cut: Vec<LinkId>) -> Self {
+        self.at(at, FaultEvent::Partition { cut })
+    }
+
+    /// Schedule the heal of the most recent partition.
+    pub fn heal(self, at: SimTime) -> Self {
+        self.at(at, FaultEvent::Heal)
+    }
+
+    /// Schedule an application crash on `node`.
+    pub fn crash(self, at: SimTime, node: NodeId) -> Self {
+        self.at(at, FaultEvent::NodeCrash(node))
+    }
+
+    /// Schedule the restart of `node`'s application.
+    pub fn restart(self, at: SimTime, node: NodeId) -> Self {
+        self.at(at, FaultEvent::NodeRestart(node))
+    }
+
+    /// Schedule a Bernoulli loss episode.
+    pub fn loss_burst(
+        self,
+        at: SimTime,
+        link: Option<LinkId>,
+        p: f64,
+        duration: SimDuration,
+    ) -> Self {
+        self.at(at, FaultEvent::LossBurst { link, p, duration })
+    }
+
+    /// Schedule a clock-offset change on `node`.
+    pub fn clock_skew(self, at: SimTime, node: NodeId, offset_secs: f64) -> Self {
+        self.at(at, FaultEvent::ClockSkew { node, offset_secs })
+    }
+
+    /// Schedule a clock-drift change on `node`.
+    pub fn clock_drift(self, at: SimTime, node: NodeId, ppm: f64) -> Self {
+        self.at(at, FaultEvent::ClockDrift { node, ppm })
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The cut set separating `side` from the rest of `topo`: every link with
+/// exactly one endpoint in `side`. Downing this set with
+/// [`FaultEvent::Partition`] partitions the network (assuming `side` and
+/// its complement are each internally connected).
+pub fn partition_cut(topo: &Topology, side: &[NodeId]) -> Vec<LinkId> {
+    let mut in_side = vec![false; topo.num_nodes()];
+    for n in side {
+        in_side[n.index()] = true;
+    }
+    topo.links()
+        .filter(|(_, l)| in_side[l.a.index()] != in_side[l.b.index()])
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// A node's local-clock transform: `local = true + offset + drift`.
+///
+/// The identity transform (no skew, no drift) is exact: `local_time`
+/// returns the true instant unchanged, so unfaulted simulations are
+/// bit-for-bit identical with or without the fault subsystem.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NodeClock {
+    /// Fixed offset in seconds (may be negative).
+    pub offset_secs: f64,
+    /// Drift rate in parts per million.
+    pub drift_ppm: f64,
+    /// When the current drift rate started applying.
+    pub drift_since: SimTime,
+}
+
+impl NodeClock {
+    /// The node's local reading of true instant `now` (clamped at zero).
+    pub fn local_time(&self, now: SimTime) -> SimTime {
+        if self.offset_secs == 0.0 && self.drift_ppm == 0.0 {
+            return now;
+        }
+        let drifted = self.drift_ppm * 1e-6 * now.since(self.drift_since).as_secs_f64();
+        let secs = now.as_secs_f64() + self.offset_secs + drifted;
+        SimTime::from_secs_f64(secs) // negative clamps to zero
+    }
+
+    /// Replace the offset.
+    pub fn set_offset(&mut self, offset_secs: f64) {
+        self.offset_secs = offset_secs;
+    }
+
+    /// Replace the drift rate at true time `now`, folding the drift
+    /// accumulated so far into the offset (local time stays continuous).
+    pub fn set_drift(&mut self, ppm: f64, now: SimTime) {
+        self.offset_secs += self.drift_ppm * 1e-6 * now.since(self.drift_since).as_secs_f64();
+        self.drift_ppm = ppm;
+        self.drift_since = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::chain;
+
+    #[test]
+    fn plan_builder_orders_by_insertion() {
+        let plan = FaultPlan::new()
+            .link_down(SimTime::from_secs(5), LinkId(0))
+            .heal(SimTime::from_secs(5))
+            .crash(SimTime::from_secs(9), NodeId(2));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events[0].1, FaultEvent::LinkDown(LinkId(0)));
+        assert_eq!(plan.events[1].1, FaultEvent::Heal);
+    }
+
+    #[test]
+    fn partition_cut_finds_boundary_links() {
+        let topo = chain(6); // 0-1-2-3-4-5
+        let cut = partition_cut(&topo, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(cut.len(), 1);
+        let l = topo.link(cut[0]);
+        assert_eq!((l.a, l.b), (NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn partition_cut_of_interior_set() {
+        let topo = chain(5);
+        // {2} alone is severed from both sides: two boundary links.
+        let cut = partition_cut(&topo, &[NodeId(2)]);
+        assert_eq!(cut.len(), 2);
+    }
+
+    #[test]
+    fn identity_clock_is_exact() {
+        let c = NodeClock::default();
+        let t = SimTime::from_secs_f64(123.456789);
+        assert_eq!(c.local_time(t), t);
+    }
+
+    #[test]
+    fn skewed_clock_offsets() {
+        let mut c = NodeClock::default();
+        c.set_offset(-2.5);
+        let t = SimTime::from_secs(10);
+        assert!((c.local_time(t).as_secs_f64() - 7.5).abs() < 1e-9);
+        c.set_offset(3.0);
+        assert!((c.local_time(t).as_secs_f64() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_accumulates_and_rebases_continuously() {
+        let mut c = NodeClock::default();
+        c.set_drift(1000.0, SimTime::from_secs(100)); // 1 ms/s fast
+        let at200 = c.local_time(SimTime::from_secs(200));
+        assert!((at200.as_secs_f64() - 200.1).abs() < 1e-6);
+        // Changing the rate folds accumulated drift into the offset.
+        c.set_drift(0.0, SimTime::from_secs(200));
+        let at300 = c.local_time(SimTime::from_secs(300));
+        assert!((at300.as_secs_f64() - 300.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_local_time_clamps_to_zero() {
+        let mut c = NodeClock::default();
+        c.set_offset(-100.0);
+        assert_eq!(c.local_time(SimTime::from_secs(5)), SimTime::ZERO);
+    }
+}

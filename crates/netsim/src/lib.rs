@@ -49,6 +49,7 @@
 
 pub mod effects;
 pub mod event;
+pub mod faults;
 pub mod generators;
 pub mod loss;
 pub mod packet;
@@ -60,6 +61,7 @@ pub mod topology;
 
 pub use effects::{ChannelEffects, Ideal, RandomEffects};
 pub use event::TimerId;
+pub use faults::{partition_cut, FaultEvent, FaultPlan, NodeClock};
 pub use packet::{flow, GroupId, Packet, PacketId, SendOptions, TTL_GLOBAL};
 pub use routing::SpTree;
 pub use sim::{Application, Ctx, Simulator};

@@ -36,6 +36,14 @@ impl SpTree {
     /// Dijkstra from `root` with deterministic tie-breaking: among equal
     /// distances, the path through the smaller parent id wins.
     pub fn compute(topo: &Topology, root: NodeId) -> SpTree {
+        SpTree::compute_masked(topo, root, None)
+    }
+
+    /// Like [`SpTree::compute`], but skipping any link whose entry in
+    /// `link_up` is `false` — routing around failed links. `None` means all
+    /// links are up.
+    pub fn compute_masked(topo: &Topology, root: NodeId, link_up: Option<&[bool]>) -> SpTree {
+        let up = |l: LinkId| link_up.is_none_or(|m| m[l.index()]);
         let n = topo.num_nodes();
         let mut dist = vec![UNREACHABLE; n];
         let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
@@ -44,7 +52,8 @@ impl SpTree {
         // Heap entries: (dist, node, parent, link, hop). Reverse for min-heap;
         // ties break on smaller node id then smaller parent id, making the
         // tree independent of insertion order.
-        let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u32, u32)>> = BinaryHeap::new();
+        type HeapEntry = (u64, u32, u32, u32, u32);
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
         heap.push(Reverse((0, root.0, u32::MAX, u32::MAX, 0)));
         while let Some(Reverse((d, v, p, l, h))) = heap.pop() {
             let vi = v as usize;
@@ -58,15 +67,15 @@ impl SpTree {
                 parent[vi] = Some((NodeId(p), LinkId(l)));
             }
             for &(w, link) in topo.neighbors(NodeId(v)) {
-                if !settled[w.index()] {
+                if !settled[w.index()] && up(link) {
                     let nd = d + topo.link(link).delay.as_nanos();
                     heap.push(Reverse((nd, w.0, v, link.0, h + 1)));
                 }
             }
         }
         let mut children: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some((p, l)) = parent[v] {
+        for (v, entry) in parent.iter().enumerate() {
+            if let Some((p, l)) = *entry {
                 children[p.index()].push((NodeId(v as u32), l));
             }
         }
@@ -215,9 +224,21 @@ impl SptCache {
 
     /// The SPT rooted at `root`, computing it on first use.
     pub fn get(&mut self, topo: &Topology, root: NodeId) -> std::rc::Rc<SpTree> {
+        self.get_masked(topo, root, None)
+    }
+
+    /// The SPT rooted at `root` over the currently-up links, computing it on
+    /// first use. Callers must [`SptCache::invalidate`] whenever the mask
+    /// changes — the cache is keyed by root only.
+    pub fn get_masked(
+        &mut self,
+        topo: &Topology,
+        root: NodeId,
+        link_up: Option<&[bool]>,
+    ) -> std::rc::Rc<SpTree> {
         self.trees
             .entry(root)
-            .or_insert_with(|| std::rc::Rc::new(SpTree::compute(topo, root)))
+            .or_insert_with(|| std::rc::Rc::new(SpTree::compute_masked(topo, root, link_up)))
             .clone()
     }
 
@@ -320,6 +341,27 @@ mod tests {
             let db = spt.distance(l.b).as_secs_f64();
             assert!((da - db).abs() < 1.0 + 1e-9);
         }
+    }
+
+    #[test]
+    fn masked_compute_routes_around_down_links() {
+        // Square: 0-1, 0-2, 1-3, 2-3. With 1-3 down, node 3 must be reached
+        // via 2 instead of the usual smaller-parent tie-break via 1.
+        let mut b = TopologyBuilder::new(4);
+        b.link(NodeId(0), NodeId(1));
+        b.link(NodeId(0), NodeId(2));
+        let l13 = b.link(NodeId(1), NodeId(3));
+        b.link(NodeId(2), NodeId(3));
+        let t = b.build();
+        let mut mask = vec![true; t.num_links()];
+        mask[l13.index()] = false;
+        let spt = SpTree::compute_masked(&t, NodeId(0), Some(&mask));
+        assert_eq!(spt.parent(NodeId(3)).unwrap().0, NodeId(2));
+        // Masking both of 3's links makes it unreachable.
+        mask[t.link_between(NodeId(2), NodeId(3)).unwrap().index()] = false;
+        let spt = SpTree::compute_masked(&t, NodeId(0), Some(&mask));
+        assert!(!spt.reachable(NodeId(3)));
+        assert!(spt.reachable(NodeId(1)));
     }
 
     #[test]

@@ -137,6 +137,13 @@ pub enum TraceEvent {
         /// Flow class.
         flow: u32,
     },
+    /// A scripted fault took effect.
+    Fault {
+        /// Time the fault applied.
+        at: SimTime,
+        /// Human-readable description (the fault's `Display` form).
+        desc: String,
+    },
 }
 
 /// An in-memory log of [`TraceEvent`]s. Disabled by default.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint. Run from the repo root.
+#
+# Note the two test invocations: the root package is both a [workspace]
+# and a [package], so a bare `cargo test` covers only the root crate's
+# integration tests (the tier-1 gate); `--workspace` adds every member
+# crate's unit and integration tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test (root package / tier-1) =="
+cargo test -q
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (workspace, warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,138 @@
+//! Channel effects beyond the Ideal model: SRM "requires only the basic IP
+//! delivery model — best-effort with possible duplication and reordering of
+//! packets" (Section I). These tests exercise exactly that: Bernoulli loss
+//! matches its configured rate, duplicated packets are deduplicated by the
+//! agents, and jitter-induced reordering does not break ADU delivery.
+
+use bytes::Bytes;
+use netsim::generators::chain;
+use netsim::loss::BernoulliLoss;
+use netsim::{
+    GroupId, NodeId, RandomEffects, SendOptions, SimDuration, SimTime, Simulator, TraceEvent,
+};
+use srm::{PageId, SourceId, SrmAgent, SrmConfig};
+
+const GROUP: GroupId = GroupId(3);
+
+fn page0() -> PageId {
+    PageId::new(SourceId(0), 0)
+}
+
+/// A chain of SRM agents, sessions off, distances pre-warmed.
+fn srm_chain(n: usize, seed: u64) -> Simulator<SrmAgent> {
+    let mut sim = Simulator::new(chain(n), seed);
+    let cfg = SrmConfig::fixed(n);
+    for i in 0..n {
+        let mut a = SrmAgent::new(SourceId(i as u64), GROUP, cfg.clone());
+        a.session_enabled = false;
+        a.set_current_page(page0());
+        for j in 0..n {
+            if i != j {
+                a.distances_mut().set_distance(
+                    SourceId(j as u64),
+                    SimDuration::from_secs((i as i64 - j as i64).unsigned_abs()),
+                );
+            }
+        }
+        sim.install(NodeId(i as u32), a);
+        sim.join(NodeId(i as u32), GROUP);
+    }
+    sim
+}
+
+/// The empirical drop rate of `BernoulliLoss` converges to the configured
+/// probability (measured on raw link crossings, no agents involved).
+#[test]
+fn bernoulli_loss_converges_to_configured_probability() {
+    let mut sim: Simulator<SrmAgent> = Simulator::new(chain(2), 1);
+    sim.join(NodeId(1), GROUP);
+    sim.set_loss_model(Box::new(BernoulliLoss::everywhere(0.3, 77)));
+    let n = 5_000u64;
+    for _ in 0..n {
+        sim.send_from(
+            NodeId(0),
+            GROUP,
+            Bytes::from_static(b"x"),
+            SendOptions::default(),
+        );
+    }
+    assert!(sim.run_until_idle(SimTime::from_secs(10_000)));
+    let l = sim
+        .topology()
+        .link_between(NodeId(0), NodeId(1))
+        .expect("chain link");
+    let ls = &sim.stats.links[l.index()];
+    assert_eq!(ls.drops + ls.packets, n, "every crossing dropped or forwarded");
+    let rate = ls.drops as f64 / n as f64;
+    assert!(
+        (rate - 0.3).abs() < 0.02,
+        "empirical loss rate {rate} should be ≈ 0.3"
+    );
+}
+
+/// With 100% per-hop duplication every member sees each ADU several times;
+/// the store keeps exactly one copy and no spurious recovery starts.
+#[test]
+fn duplicated_packets_are_deduplicated_by_agents() {
+    let mut sim = srm_chain(3, 2);
+    sim.set_channel_effects(Box::new(RandomEffects::new(1.0, SimDuration::ZERO, 9)));
+    for k in 0..5u64 {
+        sim.exec(NodeId(0), |a, ctx| {
+            a.send_data(ctx, page0(), Bytes::from_static(b"dup"));
+        });
+        sim.run_until(SimTime::from_secs(k + 1));
+    }
+    assert!(sim.run_until_idle(SimTime::from_secs(1_000)));
+    for i in [1u32, 2] {
+        let a = sim.app(NodeId(i)).unwrap();
+        assert_eq!(a.store().len(), 5, "node {i}: one stored copy per ADU");
+        assert!(
+            a.metrics.data_received > 5,
+            "node {i}: duplicates actually arrived ({} receptions)",
+            a.metrics.data_received
+        );
+        assert!(a.metrics.all_recovered(), "node {i}: no stuck recovery");
+        assert_eq!(a.metrics.requests_sent, 0, "node {i}: duplication is not loss");
+    }
+}
+
+/// Heavy per-copy jitter reorders packets in flight; every ADU still
+/// arrives and the agents end consistent (late originals or repairs close
+/// any gap the reordering faked).
+#[test]
+fn jitter_reordering_does_not_break_adu_delivery() {
+    let mut sim = srm_chain(2, 3);
+    sim.trace.enable();
+    sim.set_channel_effects(Box::new(RandomEffects::new(
+        0.0,
+        SimDuration::from_secs(5),
+        11,
+    )));
+    for k in 0..10u32 {
+        sim.exec(NodeId(0), |a, ctx| {
+            a.send_data(ctx, page0(), Bytes::from_static(b"jit"));
+        });
+        sim.run_until(SimTime::from_secs_f64(0.2 * f64::from(k + 1)));
+    }
+    assert!(sim.run_until_idle(SimTime::from_secs(1_000)));
+
+    // The jitter really reordered deliveries at node 1…
+    let arrivals: Vec<u64> = sim
+        .trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Deliver { node, pkt, .. } if *node == NodeId(1) => Some(pkt.0),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        arrivals.windows(2).any(|w| w[0] > w[1]),
+        "expected at least one inversion in {arrivals:?}"
+    );
+
+    // …and the receiver still ended up with the complete in-order stream.
+    let a1 = sim.app(NodeId(1)).unwrap();
+    assert_eq!(a1.store().len(), 10, "all ADUs present despite reordering");
+    assert!(a1.metrics.all_recovered());
+}
