@@ -6,9 +6,12 @@
 //! ```text
 //! srm-sim scenarios/lossy_tree.json
 //! srm-sim --json scenarios/fec_stream.json   # machine-readable report
+//! srm-sim --trace out.jsonl scenarios/lossy_tree.json  # episode timeline
 //! ```
 //!
-//! The schema lives in [`spec`], the executor and report in [`run()`](run()).
+//! The schema lives in [`spec`], the executor and report in [`run()`](run());
+//! `--trace` additionally records every member's recovery-episode events
+//! (via [`run_with_trace`]) and writes them as JSONL.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,5 +20,5 @@ pub mod json;
 pub mod run;
 pub mod spec;
 
-pub use run::{run, Report, RunError};
+pub use run::{run, run_with_trace, Report, RunError};
 pub use spec::Scenario;

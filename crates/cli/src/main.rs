@@ -1,22 +1,34 @@
 //! CLI entry point for `srm-sim`.
 
-use srm_sim::{run, Scenario};
+use srm_sim::{run, run_with_trace, Scenario};
+
+const USAGE: &str = "usage: srm-sim [--json] [--trace FILE] <scenario.json>...";
 
 fn main() {
     let mut json_out = false;
+    let mut trace_out: Option<String> = None;
     let mut files = Vec::new();
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json_out = true,
+            "--trace" => {
+                trace_out = args.next();
+                if trace_out.is_none() {
+                    eprintln!("--trace requires a file argument");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            }
             "-h" | "--help" => {
-                eprintln!("usage: srm-sim [--json] <scenario.json>...");
+                eprintln!("{USAGE}");
                 return;
             }
             f => files.push(f.to_string()),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: srm-sim [--json] <scenario.json>...");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     for f in files {
@@ -34,19 +46,35 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match run(&scenario) {
-            Ok(report) => {
-                if json_out {
-                    println!("{}", report.to_json());
-                } else {
-                    println!("== {f} ==");
-                    print!("{}", report.render());
+        let report = if let Some(path) = &trace_out {
+            match run_with_trace(&scenario) {
+                Ok((report, timeline)) => {
+                    if let Err(e) = std::fs::write(path, timeline.to_jsonl()) {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("trace: wrote {} events to {path}", timeline.len());
+                    report
+                }
+                Err(e) => {
+                    eprintln!("{f}: {e}");
+                    std::process::exit(1);
                 }
             }
-            Err(e) => {
-                eprintln!("{f}: {e}");
-                std::process::exit(1);
+        } else {
+            match run(&scenario) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("{f}: {e}");
+                    std::process::exit(1);
+                }
             }
+        };
+        if json_out {
+            println!("{}", report.to_json());
+        } else {
+            println!("== {f} ==");
+            print!("{}", report.render());
         }
     }
 }

@@ -159,6 +159,21 @@ fn build_config(spec: &ConfigSpec, g: usize) -> SrmConfig {
 
 /// Execute a scenario and produce its [`Report`].
 pub fn run(scenario: &Scenario) -> Result<Report, RunError> {
+    run_inner(scenario, false).map(|(r, _)| r)
+}
+
+/// Execute a scenario with recovery-episode tracing enabled, producing both
+/// the [`Report`] and the merged per-member event [`obs::Timeline`].
+/// Tracing only records — it never perturbs timers or RNG draws — so the
+/// report is identical to an untraced [`run`].
+pub fn run_with_trace(scenario: &Scenario) -> Result<(Report, obs::Timeline), RunError> {
+    run_inner(scenario, true).map(|(r, tl)| (r, tl.expect("traced run yields a timeline")))
+}
+
+fn run_inner(
+    scenario: &Scenario,
+    traced: bool,
+) -> Result<(Report, Option<obs::Timeline>), RunError> {
     let mut rng = StdRng::seed_from_u64(scenario.seed);
     let topo = build_topology(&scenario.topology, &mut rng);
     let n = topo.num_nodes() as u32;
@@ -231,6 +246,9 @@ pub fn run(scenario: &Scenario) -> Result<Report, RunError> {
         sim.join(m, GROUP);
     }
     sim.set_loss_model(loss);
+    if traced {
+        srm::enable_tracing(&mut sim);
+    }
     if scenario.effects.duplication > 0.0 || scenario.effects.jitter_secs > 0.0 {
         sim.set_channel_effects(Box::new(RandomEffects::new(
             scenario.effects.duplication,
@@ -277,7 +295,8 @@ pub fn run(scenario: &Scenario) -> Result<Report, RunError> {
             all_recovered: a.metrics.all_recovered(),
         });
     }
-    Ok(Report {
+    let timeline = traced.then(|| srm::harvest_timeline(&mut sim, Vec::new()));
+    let report = Report {
         members: members.len(),
         source: source.0,
         adus_sent: w.adus,
@@ -295,7 +314,8 @@ pub fn run(scenario: &Scenario) -> Result<Report, RunError> {
         per_member,
         sim_seconds: sim.now().as_secs_f64(),
         events: sim.stats.events,
-    })
+    };
+    Ok((report, timeline))
 }
 
 impl Report {
@@ -441,6 +461,21 @@ mod tests {
         let mut sc = base();
         sc.members = MembersSpec::List(vec![]);
         assert!(matches!(run(&sc), Err(RunError::NoMembers)));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_yields_events() {
+        let plain = run(&base()).unwrap();
+        let (traced, tl) = run_with_trace(&base()).unwrap();
+        // Tracing is observation-only: the protocol outcome is unchanged.
+        assert_eq!(plain.total_requests, traced.total_requests);
+        assert_eq!(plain.total_repairs, traced.total_repairs);
+        assert_eq!(plain.events, traced.events);
+        assert_eq!(plain.sim_seconds, traced.sim_seconds);
+        // The dropped ADU produced a recovery episode worth of events.
+        assert!(!tl.is_empty());
+        assert!(tl.to_jsonl().contains("\"ev\":\"request_sent\""));
+        assert!(tl.chains().iter().any(|c| c.recovered_at.is_some()));
     }
 
     #[test]

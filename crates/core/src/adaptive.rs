@@ -339,6 +339,58 @@ mod tests {
     }
 
     #[test]
+    fn delay_ewma_update_math() {
+        // ave' = (1−λ)·ave + λ·sample with λ = 0.25 (paper's weight).
+        let mut a = fresh();
+        assert_eq!(a.ave_req_delay(), 0.0);
+        a.on_request_delay(5.0);
+        assert!((a.ave_req_delay() - 1.25).abs() < 1e-12); // 0.75·0 + 0.25·5
+        a.on_request_delay(3.0);
+        assert!((a.ave_req_delay() - 1.6875).abs() < 1e-12); // 0.75·1.25 + 0.25·3
+        a.on_request_delay(0.0);
+        assert!((a.ave_req_delay() - 1.265625).abs() < 1e-12); // 0.75·1.6875
+        // The repair side uses the same recurrence independently.
+        a.on_repair_delay(4.0);
+        assert!((a.ave_rep_delay() - 1.0).abs() < 1e-12);
+        assert!((a.ave_req_delay() - 1.265625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dup_ewma_chains_across_periods() {
+        let mut a = fresh();
+        // Period 0: 4 duplicates → on close, ave = 0.25·4 = 1.0.
+        a.on_request_timer_set(item(0));
+        for _ in 0..4 {
+            a.on_duplicate_request();
+        }
+        a.on_request_timer_set(item(1));
+        assert!((a.ave_dup_req() - 1.0).abs() < 1e-12);
+        // Period 1: 2 duplicates → ave = 0.75·1.0 + 0.25·2 = 1.25.
+        a.on_duplicate_request();
+        a.on_duplicate_request();
+        a.on_request_timer_set(item(2));
+        assert!((a.ave_dup_req() - 1.25).abs() < 1e-12);
+        // Period 2: quiet → ave decays: 0.75·1.25 = 0.9375, and the dup
+        // counter was reset at the boundary (no carry-over).
+        a.on_request_timer_set(item(3));
+        assert!((a.ave_dup_req() - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_period_transfers_sent_flag_once() {
+        let mut a = fresh();
+        a.on_request_timer_set(item(0));
+        a.on_request_sent(); // c1: 2.0 → 1.95
+        // Boundary 1: sent_last_period = true → extra −0.05.
+        a.on_request_timer_set(item(1));
+        assert!((a.params.c1 - 1.90).abs() < 1e-9);
+        // Boundary 2: we did not send in period 1, but ave_dup is 0 (< 0.25
+        // of target) so the low-dups branch still applies −0.05.
+        a.on_request_timer_set(item(2));
+        assert!((a.params.c1 - 1.85).abs() < 1e-9);
+    }
+
+    #[test]
     fn params_stay_clamped_under_stress() {
         let mut a = fresh();
         for i in 0..200 {

@@ -19,6 +19,7 @@ use crate::hierarchy::{HierarchyState, SessionScope};
 use crate::local::{widened_ttl, LossFingerprint, NeighborhoodView};
 use crate::metrics::{AgentMetrics, RecoveryRecord, RepairRecord};
 use crate::name::{AduName, PageId, SeqNo, SourceId};
+use crate::observe::adu_key;
 use crate::rate::TokenBucket;
 use crate::recovery::{RequestAction, RequestState, RepairState};
 use crate::sendq::{PendingSend, SendClass, SendQueue};
@@ -101,6 +102,9 @@ pub struct SrmAgent {
     delivered: Vec<Delivery>,
     /// Counters and per-episode logs.
     pub metrics: AgentMetrics,
+    /// Recovery-episode event recorder (disabled by default; recording
+    /// never touches the protocol's RNG or timers).
+    pub obs: obs::Recorder,
     /// Two-step local-recovery relays performed.
     pub two_step_relays: u64,
     /// The local-recovery group this member belongs to (Section VII-B2).
@@ -173,6 +177,7 @@ impl SrmAgent {
             unique_data_received: 0,
             delivered: Vec::new(),
             metrics: AgentMetrics::default(),
+            obs: obs::Recorder::new(),
             two_step_relays: 0,
             recovery_group: None,
             invite_timer: None,
@@ -497,6 +502,8 @@ impl SrmAgent {
             }
             self.losses_detected += 1;
             self.fingerprint.record(name);
+            self.obs
+                .record(ctx.now, adu_key(name), obs::EventKind::GapDetected);
             // wb 1.59 mode uses a fixed [c, 2c] interval; the distance-
             // scaled framework uses [C1·d, (C1+C2)·d].
             let (c1, c2, dist) = match self.cfg.fixed_intervals {
@@ -512,6 +519,14 @@ impl SrmAgent {
             }
             let h = self.arm(ctx, delay, Purpose::Request(name));
             self.request_timers.insert(name, h);
+            self.obs.record(
+                ctx.now,
+                adu_key(name),
+                obs::EventKind::RequestTimerSet {
+                    until: state.expire_at,
+                    backoff: state.backoff_count,
+                },
+            );
             self.sync_request_record(&state);
             self.requests.insert(name, state);
         }
@@ -634,6 +649,8 @@ impl SrmAgent {
                 if let Some(rec) = self.metrics.recoveries.get_mut(&name) {
                     rec.gave_up = true;
                 }
+                self.obs
+                    .record(ctx.now, adu_key(name), obs::EventKind::GaveUp);
                 return;
             }
         }
@@ -665,6 +682,13 @@ impl SrmAgent {
         };
         self.transmit_to(ctx, group, body, class, opts);
         self.metrics.requests_sent += 1;
+        self.obs.record(
+            ctx.now,
+            adu_key(name),
+            obs::EventKind::RequestSent {
+                round: rounds_before + 1,
+            },
+        );
         if st.requests_observed > 1 {
             if let Some(a) = self.adaptive.as_mut() {
                 a.on_duplicate_request();
@@ -676,15 +700,34 @@ impl SrmAgent {
         // Re-arm the (backed-off) timer to wait for the repair.
         let h = self.arm(ctx, redelay, Purpose::Request(name));
         self.request_timers.insert(name, h);
+        self.obs.record(
+            ctx.now,
+            adu_key(name),
+            obs::EventKind::RequestTimerSet {
+                until: st.expire_at,
+                backoff: st.backoff_count,
+            },
+        );
         self.sync_request_record(&st);
         self.requests.insert(name, st);
     }
 
     /// A request from another member arrived for a name we are also missing.
-    fn suppress_or_backoff(&mut self, ctx: &mut Ctx<'_>, name: AduName, their_dist: f64) {
+    fn suppress_or_backoff(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        name: AduName,
+        from: SourceId,
+        their_dist: f64,
+    ) {
         let Some(mut st) = self.requests.remove(&name) else {
             return;
         };
+        self.obs.record(
+            ctx.now,
+            adu_key(name),
+            obs::EventKind::RequestHeard { from: from.0 },
+        );
         let had_event = st.first_request_event_at.is_some();
         let action = st.on_request_heard(ctx.now, self.cfg.backoff, ctx.rng());
         if !had_event {
@@ -701,12 +744,26 @@ impl SrmAgent {
                 a.on_far_duplicate_request(their_dist, st.dist_to_source.as_secs_f64());
             }
         }
-        if let RequestAction::Rearm(delay) = action {
-            if let Some(h) = self.request_timers.remove(&name) {
-                self.disarm(ctx, h);
+        match action {
+            RequestAction::Rearm(delay) => {
+                if let Some(h) = self.request_timers.remove(&name) {
+                    self.disarm(ctx, h);
+                }
+                let h = self.arm(ctx, delay, Purpose::Request(name));
+                self.request_timers.insert(name, h);
+                self.obs.record(
+                    ctx.now,
+                    adu_key(name),
+                    obs::EventKind::RequestBackoff {
+                        until: st.expire_at,
+                        backoff: st.backoff_count,
+                    },
+                );
             }
-            let h = self.arm(ctx, delay, Purpose::Request(name));
-            self.request_timers.insert(name, h);
+            RequestAction::None => {
+                self.obs
+                    .record(ctx.now, adu_key(name), obs::EventKind::RequestSuppressed);
+            }
         }
         self.sync_request_record(&st);
         self.requests.insert(name, st);
@@ -720,6 +777,8 @@ impl SrmAgent {
         if let Some(&until) = self.hold_down_until.get(&name) {
             if ctx.now < until {
                 self.metrics.requests_held_down += 1;
+                self.obs
+                    .record(ctx.now, adu_key(name), obs::EventKind::RequestHeldDown);
                 return;
             }
         }
@@ -765,6 +824,13 @@ impl SrmAgent {
         let h = self.arm(ctx, delay, Purpose::Repair(name));
         st.timer = Some(h.id);
         self.repair_timers.insert(name, h);
+        self.obs.record(
+            ctx.now,
+            adu_key(name),
+            obs::EventKind::RepairTimerSet {
+                until: st.expire_at,
+            },
+        );
         self.sync_repair_record(&st);
         self.repairs.insert(name, st);
     }
@@ -804,6 +870,8 @@ impl SrmAgent {
             .unwrap_or(self.group);
         self.transmit_to(ctx, group, body, class, opts);
         self.metrics.repairs_sent += 1;
+        self.obs
+            .record(ctx.now, adu_key(name), obs::EventKind::RepairSent);
         if let Some(a) = self.adaptive.as_mut() {
             a.on_repair_sent();
         }
@@ -815,6 +883,8 @@ impl SrmAgent {
     fn set_hold_down(&mut self, now: SimTime, name: AduName) {
         let d = self.est.distance_to(name.source);
         let until = now + d.mul_f64(self.cfg.hold_down);
+        self.obs
+            .record(now, adu_key(name), obs::EventKind::HoldDownEntered { until });
         self.hold_down_until.insert(name, until);
     }
 
@@ -852,7 +922,12 @@ impl SrmAgent {
         }
         self.start_requests(ctx, missing);
         // Complete any pending recovery for this name.
-        self.complete_recovery(ctx, name);
+        let via = if d.is_repair {
+            obs::RecoveryVia::Repair
+        } else {
+            obs::RecoveryVia::Original
+        };
+        self.complete_recovery(ctx, name, via);
         // A block member arriving may enable parity reconstruction of a
         // sibling.
         if let Some(key) = self.parity_key_for(&name) {
@@ -860,6 +935,15 @@ impl SrmAgent {
         }
         if d.is_repair {
             // Repair suppression and duplicate accounting.
+            if self.repairs.contains_key(&name) {
+                self.obs.record(
+                    ctx.now,
+                    adu_key(name),
+                    obs::EventKind::RepairHeard {
+                        from: hdr.sender.0,
+                    },
+                );
+            }
             if let Some(st) = self.repairs.get_mut(&name) {
                 let had_event = st.first_repair_event_at.is_some();
                 st.on_repair_heard(ctx.now);
@@ -879,6 +963,11 @@ impl SrmAgent {
                 let st2 = st.clone();
                 if let Some(h) = self.repair_timers.remove(&name) {
                     self.disarm(ctx, h);
+                    self.obs.record(
+                        ctx.now,
+                        adu_key(name),
+                        obs::EventKind::RepairTimerCancelled,
+                    );
                 }
                 if let Some(stm) = self.repairs.get_mut(&name) {
                     stm.timer = None;
@@ -911,7 +1000,7 @@ impl SrmAgent {
 
     /// Close out a loss-recovery episode for `name` (data arrived, by
     /// repair, original transmission, or FEC reconstruction).
-    fn complete_recovery(&mut self, ctx: &mut Ctx<'_>, name: AduName) {
+    fn complete_recovery(&mut self, ctx: &mut Ctx<'_>, name: AduName, via: obs::RecoveryVia) {
         if let Some(st) = self.requests.remove(&name) {
             if let Some(h) = self.request_timers.remove(&name) {
                 self.disarm(ctx, h);
@@ -920,6 +1009,8 @@ impl SrmAgent {
             if let Some(rec) = self.metrics.recoveries.get_mut(&name) {
                 rec.recovered_at = Some(ctx.now);
             }
+            self.obs
+                .record(ctx.now, adu_key(name), obs::EventKind::Recovered { via });
         }
     }
 
@@ -972,7 +1063,7 @@ impl SrmAgent {
                     via_repair: true,
                 });
             }
-            self.complete_recovery(ctx, name);
+            self.complete_recovery(ctx, name, obs::RecoveryVia::Fec);
         }
         // Drop the parity once its whole block is held.
         let complete = (0..p.k as u64)
@@ -986,7 +1077,7 @@ impl SrmAgent {
         self.metrics.requests_received += 1;
         let name = r.name;
         if self.requests.contains_key(&name) {
-            self.suppress_or_backoff(ctx, name, r.dist_to_source);
+            self.suppress_or_backoff(ctx, name, hdr.sender, r.dist_to_source);
         } else if self.store.has(&name) {
             self.maybe_schedule_repair(ctx, name, pkt, &r, hdr.sender);
         } else if name.source != self.id {
@@ -995,7 +1086,7 @@ impl SrmAgent {
             let missing = self.store.note_exists(name.source, name.page, name.seq);
             self.start_requests(ctx, missing);
             if self.requests.contains_key(&name) {
-                self.suppress_or_backoff(ctx, name, r.dist_to_source);
+                self.suppress_or_backoff(ctx, name, hdr.sender, r.dist_to_source);
             }
         }
     }
@@ -1159,10 +1250,12 @@ impl Application for SrmAgent {
         let mut metrics = std::mem::take(&mut self.metrics);
         metrics.drop_inflight();
         metrics.crashes += 1;
+        let obs = std::mem::take(&mut self.obs);
         let session_enabled = self.session_enabled;
         *self = SrmAgent::new(self.id, self.group, self.cfg.clone());
         self.session_enabled = session_enabled;
         self.metrics = metrics;
+        self.obs = obs;
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_>) {

@@ -29,6 +29,9 @@
 //! - **Rate control** ([`rate`], [`sendq`]): a token-bucket send limit with
 //!   the paper's send priorities (current-page recovery > new data >
 //!   old-page recovery).
+//! - **Observability** ([`observe`]): bridge to the workspace `obs` layer —
+//!   causal recovery-episode spans recorded per agent, run-level
+//!   counter/histogram summaries, deterministic JSONL timelines.
 //!
 //! [`SrmAgent`] assembles all of it behind a small application API
 //! (`send_data` / `take_delivered`) and runs over the deterministic
@@ -71,6 +74,7 @@ pub mod hierarchy;
 pub mod local;
 pub mod metrics;
 pub mod name;
+pub mod observe;
 pub mod rate;
 pub mod recovery;
 pub mod sendq;
@@ -87,5 +91,6 @@ pub use hierarchy::{HierarchyConfig, HierarchyState, SessionScope};
 pub use config::{AdaptiveConfig, RateLimit, RecoveryScope, SrmConfig, TimerParams};
 pub use metrics::{AgentMetrics, FaultEpisode, RecoveryRecord, RepairRecord};
 pub use name::{AduName, PageId, SeqNo, SourceId};
+pub use observe::{enable_tracing, harvest_summary, harvest_timeline};
 pub use store::AduStore;
 pub use wire::{Body, DataBody, Header, Message, RequestBody, SessionBody, WireError};

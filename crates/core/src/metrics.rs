@@ -34,15 +34,28 @@ impl RecoveryRecord {
     }
 
     /// Recovery delay in units of this member's RTT to the source.
+    ///
+    /// `None` until recovered, and `None` when the RTT estimate is zero
+    /// (a degenerate distance estimate must not poison figure averages with
+    /// `inf`/`NaN`).
     pub fn recovery_delay_over_rtt(&self) -> Option<f64> {
-        self.recovery_delay()
-            .map(|d| d.as_secs_f64() / self.rtt_to_source.as_secs_f64())
+        let rtt = self.rtt_to_source.as_secs_f64();
+        if rtt <= 0.0 {
+            return None;
+        }
+        self.recovery_delay().map(|d| d.as_secs_f64() / rtt)
     }
 
     /// Request delay in units of the RTT to the source (Fig 5–8 metric).
+    ///
+    /// `None` before the first request, and `None` when the RTT estimate is
+    /// zero, mirroring [`RecoveryRecord::recovery_delay_over_rtt`].
     pub fn request_delay_over_rtt(&self) -> Option<f64> {
-        self.request_delay
-            .map(|d| d.as_secs_f64() / self.rtt_to_source.as_secs_f64())
+        let rtt = self.rtt_to_source.as_secs_f64();
+        if rtt <= 0.0 {
+            return None;
+        }
+        self.request_delay.map(|d| d.as_secs_f64() / rtt)
     }
 }
 
@@ -197,6 +210,38 @@ mod tests {
     fn unrecovered_yields_none() {
         let r = rec(10, None);
         assert_eq!(r.recovery_delay(), None);
+        assert_eq!(r.recovery_delay_over_rtt(), None);
+    }
+
+    #[test]
+    fn zero_rtt_yields_none_not_infinity() {
+        let mut r = rec(10, Some(16));
+        r.rtt_to_source = SimDuration::ZERO;
+        assert_eq!(r.recovery_delay(), Some(SimDuration::from_secs(6)));
+        assert_eq!(r.recovery_delay_over_rtt(), None);
+        assert_eq!(r.request_delay_over_rtt(), None);
+    }
+
+    #[test]
+    fn gave_up_record_never_reports_a_delay() {
+        let mut r = rec(10, None);
+        r.gave_up = true;
+        r.requests_sent = 5;
+        assert!(r.gave_up);
+        assert_eq!(r.recovery_delay(), None);
+        assert_eq!(r.recovery_delay_over_rtt(), None);
+        // The request delay is still meaningful (the first request did go
+        // out), but the recovery-side metrics must stay None.
+        assert_eq!(r.request_delay_over_rtt(), Some(0.5));
+    }
+
+    #[test]
+    fn unrecovered_with_no_request_yet() {
+        let mut r = rec(10, None);
+        r.request_delay = None;
+        r.requests_sent = 0;
+        r.requests_observed = 0;
+        assert_eq!(r.request_delay_over_rtt(), None);
         assert_eq!(r.recovery_delay_over_rtt(), None);
     }
 

@@ -66,6 +66,39 @@ fn send(sim: &mut Simulator<SrmAgent>, node: NodeId, payload: &'static [u8]) {
     });
 }
 
+/// A finished scenario simulation plus the fault windows it injected —
+/// enough to derive either the summary [`Outcome`] (figure table) or a full
+/// observability timeline (`trace`/`report` CLI).
+pub struct FaultRun {
+    /// The simulator, run to its horizon.
+    pub sim: Simulator<SrmAgent>,
+    /// Scenario label (also the table row name).
+    pub label: &'static str,
+    /// When the (first) fault was injected.
+    pub started_at: SimTime,
+    /// The fault windows, for nesting recovery spans in trace output.
+    pub spans: Vec<obs::FaultSpan>,
+}
+
+impl FaultRun {
+    /// Summarize the run's episode logs (the figure-table numbers).
+    pub fn outcome(&self) -> Outcome {
+        collect(&self.sim, self.label, self.started_at)
+    }
+
+    /// Drain every agent's recorder into a merged timeline with the fault
+    /// windows attached.  Only meaningful for runs built with `traced =
+    /// true`.
+    pub fn timeline(&mut self) -> obs::Timeline {
+        srm::harvest_timeline(&mut self.sim, self.spans.clone())
+    }
+
+    /// Fold every live member's metrics into a run summary.
+    pub fn summary(&self) -> obs::RunSummary {
+        srm::harvest_summary(&self.sim)
+    }
+}
+
 /// What one scenario run produced.
 pub struct Outcome {
     /// Per-episode fault metrics.
@@ -128,10 +161,14 @@ fn collect(sim: &Simulator<SrmAgent>, label: &str, started_at: SimTime) -> Outco
 }
 
 /// Partition an 8-node chain for 35 s with both halves publishing, heal,
-/// and let session messages drive cross-partition recovery.
-pub fn partition_heal(seed: u64) -> Outcome {
+/// and let session messages drive cross-partition recovery.  With `traced`,
+/// every agent records its recovery-episode events.
+pub fn partition_heal_run(seed: u64, traced: bool) -> FaultRun {
     let n = 8;
     let mut sim = fault_chain(n, seed);
+    if traced {
+        srm::enable_tracing(&mut sim);
+    }
     let left: Vec<NodeId> = (0..4).map(NodeId).collect();
     let cut = partition_cut(sim.topology(), &left);
     let split_at = SimTime::from_secs(10);
@@ -153,13 +190,30 @@ pub fn partition_heal(seed: u64) -> Outcome {
     }
     sim.run_until(heal_at);
     sim.run_until(SimTime::from_secs(400));
-    collect(&sim, "partition-heal", split_at)
+    FaultRun {
+        sim,
+        label: "partition-heal",
+        started_at: split_at,
+        spans: vec![obs::FaultSpan {
+            label: "partition".into(),
+            start: split_at,
+            end: Some(heal_at),
+        }],
+    }
+}
+
+/// Summary-only variant of [`partition_heal_run`].
+pub fn partition_heal(seed: u64) -> Outcome {
+    partition_heal_run(seed, false).outcome()
 }
 
 /// The source crashes with a downstream loss outstanding; peers repair it.
-pub fn source_crash(seed: u64) -> Outcome {
+pub fn source_crash_run(seed: u64, traced: bool) -> FaultRun {
     let n = 6;
     let mut sim = fault_chain(n, seed);
+    if traced {
+        srm::enable_tracing(&mut sim);
+    }
     let l34 = sim
         .topology()
         .link_between(NodeId(3), NodeId(4))
@@ -173,27 +227,47 @@ pub fn source_crash(seed: u64) -> Outcome {
     let crash_at = SimTime::from_secs(6);
     sim.set_fault_plan(FaultPlan::new().crash(crash_at, NodeId(0)));
     sim.run_until(SimTime::from_secs(300));
-    collect(&sim, "source-crash", crash_at)
+    FaultRun {
+        sim,
+        label: "source-crash",
+        started_at: crash_at,
+        spans: vec![obs::FaultSpan {
+            label: "crash".into(),
+            start: crash_at,
+            end: None, // the source never restarts
+        }],
+    }
+}
+
+/// Summary-only variant of [`source_crash_run`].
+pub fn source_crash(seed: u64) -> Outcome {
+    source_crash_run(seed, false).outcome()
 }
 
 /// Repeated Bernoulli loss bursts on a mid-chain link while the source
 /// streams 30 ADUs; everything recovers once the link settles.
-pub fn flaky_link(seed: u64) -> Outcome {
+pub fn flaky_link_run(seed: u64, traced: bool) -> FaultRun {
     let n = 6;
     let mut sim = fault_chain(n, seed);
+    if traced {
+        srm::enable_tracing(&mut sim);
+    }
     let l23 = sim
         .topology()
         .link_between(NodeId(2), NodeId(3))
         .expect("chain link");
     let first_burst = SimTime::from_secs(5);
+    let burst_len = SimDuration::from_secs(5);
     let mut plan = FaultPlan::new();
+    let mut spans = Vec::new();
     for k in 0..3u64 {
-        plan = plan.loss_burst(
-            SimTime::from_secs(5 + 15 * k),
-            Some(l23),
-            0.4,
-            SimDuration::from_secs(5),
-        );
+        let start = SimTime::from_secs(5 + 15 * k);
+        plan = plan.loss_burst(start, Some(l23), 0.4, burst_len);
+        spans.push(obs::FaultSpan {
+            label: "loss-burst".into(),
+            start,
+            end: Some(start + burst_len),
+        });
     }
     sim.set_fault_plan(plan);
     for k in 1..=30u64 {
@@ -201,7 +275,17 @@ pub fn flaky_link(seed: u64) -> Outcome {
         send(&mut sim, NodeId(0), b"adu");
     }
     sim.run_until(SimTime::from_secs(400));
-    collect(&sim, "flaky-link", first_burst)
+    FaultRun {
+        sim,
+        label: "flaky-link",
+        started_at: first_burst,
+        spans,
+    }
+}
+
+/// Summary-only variant of [`flaky_link_run`].
+pub fn flaky_link(seed: u64) -> Outcome {
+    flaky_link_run(seed, false).outcome()
 }
 
 /// Run all three scenarios and render one table.

@@ -22,6 +22,10 @@
 //! | [`faults`] | §I / §III robustness claim | partition/crash/flaky-link recovery |
 //! | [`repair_sweep`] | §VI | duplicate repairs vs delay as D2 varies |
 //! | [`adaptive_trace`] | §VII-A | timer-parameter trajectories |
+//!
+//! Besides the figures, the binary exposes two observability subcommands
+//! backed by [`trace_cmd`]: `trace` dumps JSONL recovery-episode timelines
+//! and `report` prints counter/histogram summaries (see EXPERIMENTS.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +50,7 @@ pub mod robustness;
 pub mod round;
 pub mod scenario;
 pub mod table;
+pub mod trace_cmd;
 
 pub use round::{run_round, RoundResult};
 pub use scenario::{DropSpec, ScenarioSpec, Session, TopoSpec};

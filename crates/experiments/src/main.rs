@@ -1,17 +1,112 @@
-//! CLI: regenerate the SRM paper's figures.
+//! CLI: regenerate the SRM paper's figures, dump recovery-episode traces,
+//! and print observability reports.
 //!
 //! ```text
 //! srm-experiments all [--quick] [--out results/]
 //! srm-experiments fig3 fig5 --quick
 //! srm-experiments list
+//! srm-experiments trace --scenario chain-drop [--member N] [--adu ADU]
+//!                       [--fault LABEL] [--chains] [--out FILE]
+//! srm-experiments report [--scenario NAME]
 //! ```
 
+use srm_experiments::trace_cmd::{run_traced, TRACE_SCENARIOS};
 use srm_experiments::{run_figure, RunOpts, FIGURES};
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// `trace`: print (or write) a scenario's JSONL timeline, optionally
+/// filtered; `--chains` renders reconstructed recovery chains instead.
+fn cmd_trace(args: &[String]) -> ! {
+    let mut scenario: Option<String> = None;
+    let mut member: Option<u64> = None;
+    let mut adu: Option<String> = None;
+    let mut fault: Option<String> = None;
+    let mut chains = false;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" | "-s" => scenario = it.next().cloned(),
+            "--member" | "-m" => member = it.next().and_then(|v| v.parse().ok()),
+            "--adu" => adu = it.next().cloned(),
+            "--fault" => fault = it.next().cloned(),
+            "--chains" => chains = true,
+            "--out" | "-o" => out = it.next().map(PathBuf::from),
+            other => trace_usage(&format!("unknown trace flag: {other}")),
+        }
+    }
+    let Some(name) = scenario else {
+        trace_usage("trace requires --scenario");
+    };
+    let Some(run) = run_traced(&name) else {
+        trace_usage(&format!("unknown scenario: {name}"));
+    };
+    let tl = run.timeline.filter(member, adu.as_deref(), fault.as_deref());
+    let text = if chains {
+        let mut s = String::new();
+        for c in tl.chains() {
+            s.push_str(&c.render());
+            s.push('\n');
+        }
+        s
+    } else {
+        tl.to_jsonl()
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} ({} events)", path.display(), tl.len());
+        }
+        None => print!("{text}"),
+    }
+    std::process::exit(0);
+}
+
+/// `report`: print counter/histogram summary tables for one scenario (or,
+/// with no `--scenario`, all of them).
+fn cmd_report(args: &[String]) -> ! {
+    let mut scenario: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" | "-s" => scenario = it.next().cloned(),
+            other => trace_usage(&format!("unknown report flag: {other}")),
+        }
+    }
+    let names: Vec<&str> = match &scenario {
+        Some(n) if TRACE_SCENARIOS.contains(&n.as_str()) => vec![n.as_str()],
+        Some(n) => trace_usage(&format!("unknown scenario: {n}")),
+        None => TRACE_SCENARIOS.to_vec(),
+    };
+    for name in names {
+        let run = run_traced(name).expect("name pre-validated");
+        println!("{}", run.summary.render(name));
+    }
+    std::process::exit(0);
+}
+
+fn trace_usage(err: &str) -> ! {
+    eprintln!("{err}");
+    eprintln!(
+        "usage: srm-experiments trace --scenario <{0}> \
+         [--member N] [--adu ADU] [--fault LABEL] [--chains] [--out FILE]\n\
+         \x20      srm-experiments report [--scenario <{0}>]",
+        TRACE_SCENARIOS.join("|")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        _ => {}
+    }
     let mut opts = RunOpts::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut figures: Vec<String> = Vec::new();
@@ -38,7 +133,7 @@ fn main() {
             other if FIGURES.contains(&other) => figures.push(other.to_string()),
             other => {
                 eprintln!("unknown figure or flag: {other}");
-                eprintln!("usage: srm-experiments <all|list|{}> [--quick] [--threads N] [--out DIR]",
+                eprintln!("usage: srm-experiments <all|list|trace|report|{}> [--quick] [--threads N] [--out DIR]",
                           FIGURES.join("|"));
                 std::process::exit(2);
             }

@@ -49,15 +49,34 @@ impl Stats {
         *self.sent_by_flow.entry(flow).or_insert(0) += 1;
     }
 
+    /// Counter slot for `link`, growing the table on demand.  Fault plans
+    /// can mask links out of the routing tables mid-run, and restored or
+    /// late-registered links may carry ids past the size the table was
+    /// created with; growing (rather than indexing blindly) keeps the
+    /// counters panic-free for any `LinkId`.
+    fn link_mut(&mut self, link: LinkId) -> &mut LinkStats {
+        let i = link.index();
+        if i >= self.links.len() {
+            self.links.resize(i + 1, LinkStats::default());
+        }
+        &mut self.links[i]
+    }
+
+    /// Counters for `link`; zeroed stats for ids the table has never seen
+    /// (e.g. a link that was fault-masked for the whole run).
+    pub fn link(&self, link: LinkId) -> LinkStats {
+        self.links.get(link.index()).copied().unwrap_or_default()
+    }
+
     pub(crate) fn record_hop(&mut self, link: LinkId, flow: u32, bytes: u32) {
-        let l = &mut self.links[link.index()];
+        let l = self.link_mut(link);
         l.packets += 1;
         l.bytes += bytes as u64;
         *self.hops_by_flow.entry(flow).or_insert(0) += 1;
     }
 
     pub(crate) fn record_drop(&mut self, link: LinkId) {
-        self.links[link.index()].drops += 1;
+        self.link_mut(link).drops += 1;
     }
 
     pub(crate) fn record_delivery(&mut self, flow: u32) {
@@ -214,6 +233,25 @@ mod tests {
         assert_eq!(s.links[0].bytes, 100);
         assert_eq!(s.delivered_for(0), 1);
         assert_eq!(s.delivered_for(9), 0);
+    }
+
+    #[test]
+    fn out_of_range_link_ids_do_not_panic() {
+        let mut s = Stats::new(1);
+        // Reading an id the table has never seen returns zeroed stats.
+        let z = s.link(LinkId(9));
+        assert_eq!((z.packets, z.bytes, z.drops), (0, 0, 0));
+        // Writing grows the table instead of panicking.
+        s.record_hop(LinkId(5), 0, 10);
+        s.record_drop(LinkId(7));
+        assert_eq!(s.link(LinkId(5)).packets, 1);
+        assert_eq!(s.link(LinkId(5)).bytes, 10);
+        assert_eq!(s.link(LinkId(7)).drops, 1);
+        // Untouched slots in between stay zeroed, and in-range behavior is
+        // unchanged.
+        assert_eq!(s.link(LinkId(6)).packets, 0);
+        s.record_hop(LinkId(0), 0, 1);
+        assert_eq!(s.link(LinkId(0)).packets, 1);
     }
 
     #[test]

@@ -40,6 +40,11 @@ impl SimTime {
         SimTime(secs_to_nanos(s))
     }
 
+    /// Construct from raw nanoseconds since the epoch.
+    pub const fn from_nanos(n: u64) -> Self {
+        SimTime(n)
+    }
+
     /// The instant as fractional seconds.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64

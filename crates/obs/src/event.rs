@@ -1,0 +1,229 @@
+//! Typed events that make up a recovery-episode span.
+//!
+//! The protocol crate converts its `AduName` into the dependency-free
+//! [`AduKey`] mirror defined here, so `obs` never needs to know about SRM
+//! wire types.  Event kinds are the vocabulary of the paper's loss-recovery
+//! walk-throughs (Fig 5–8): gap detection, the request timer lifecycle
+//! (set / backed-off / suppressed), request and repair transmissions, the
+//! hold-down window, and the terminal recovered / gave-up states.
+
+use std::fmt;
+
+use netsim::SimTime;
+
+/// Dependency-free mirror of the protocol's ADU name
+/// `(source, page{creator, number}, seq)`.
+///
+/// Displays identically to the protocol's `AduName` (`s1:s1/p0:5`) so trace
+/// output and protocol logs line up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AduKey {
+    /// Sender of the ADU (original data source).
+    pub source: u64,
+    /// Creator of the page namespace the ADU lives in.
+    pub page_creator: u64,
+    /// Page number within the creator's namespace.
+    pub page_number: u32,
+    /// Sequence number within the page.
+    pub seq: u64,
+}
+
+impl fmt::Display for AduKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "s{}:s{}/p{}:{}",
+            self.source, self.page_creator, self.page_number, self.seq
+        )
+    }
+}
+
+/// How a loss episode ultimately recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryVia {
+    /// The original transmission arrived late (e.g. reordering), no repair needed.
+    Original,
+    /// A multicast repair filled the gap.
+    Repair,
+    /// Parity/FEC reconstruction filled the gap.
+    Fec,
+}
+
+impl RecoveryVia {
+    /// Stable lowercase label used in JSONL output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryVia::Original => "original",
+            RecoveryVia::Repair => "repair",
+            RecoveryVia::Fec => "fec",
+        }
+    }
+}
+
+/// One typed event inside a recovery-episode span.
+///
+/// Events carry their payload inline; the owning [`RecordedEvent`] supplies
+/// the timestamp and ADU key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A sequence gap was detected; the episode span opens here.
+    GapDetected,
+    /// The request timer was armed for the first round.
+    RequestTimerSet {
+        /// Absolute expiry of the timer.
+        until: SimTime,
+        /// Backoff count at arming time (0 for the first round).
+        backoff: u32,
+    },
+    /// A request for this ADU was multicast by this member.
+    RequestSent {
+        /// 1-based request round (increments with each retransmitted request).
+        round: u32,
+    },
+    /// Another member's request for this ADU was observed.
+    RequestHeard {
+        /// Member id of the requester.
+        from: u64,
+    },
+    /// The pending request was re-armed with doubled interval after hearing
+    /// another member's request (classic SRM suppression + backoff).
+    RequestBackoff {
+        /// Absolute expiry of the re-armed timer.
+        until: SimTime,
+        /// Backoff count after doubling.
+        backoff: u32,
+    },
+    /// A heard request was ignored because it arrived within the
+    /// ignore-backoff horizon of our own recent backoff.
+    RequestSuppressed,
+    /// We hold the data but ignored a request because the ADU is inside its
+    /// repair hold-down window.
+    RequestHeldDown,
+    /// The repair timer was armed (we hold the data and heard a request).
+    RepairTimerSet {
+        /// Absolute expiry of the timer.
+        until: SimTime,
+    },
+    /// The pending repair timer was cancelled because another member's repair
+    /// was heard first.
+    RepairTimerCancelled,
+    /// A repair for this ADU was multicast by this member.
+    RepairSent,
+    /// Another member's repair for this ADU was observed.
+    RepairHeard {
+        /// Member id of the repairer.
+        from: u64,
+    },
+    /// The ADU entered its hold-down window (3·d after a repair).
+    HoldDownEntered {
+        /// Absolute end of the hold-down window.
+        until: SimTime,
+    },
+    /// The gap was filled; the episode span closes successfully.
+    Recovered {
+        /// What filled the gap.
+        via: RecoveryVia,
+    },
+    /// The maximum request rounds were exhausted; the episode span closes
+    /// unsuccessfully.
+    GaveUp,
+}
+
+impl EventKind {
+    /// Stable snake_case name used in JSONL output and filters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::GapDetected => "gap_detected",
+            EventKind::RequestTimerSet { .. } => "request_timer_set",
+            EventKind::RequestSent { .. } => "request_sent",
+            EventKind::RequestHeard { .. } => "request_heard",
+            EventKind::RequestBackoff { .. } => "request_backoff",
+            EventKind::RequestSuppressed => "request_suppressed",
+            EventKind::RequestHeldDown => "request_held_down",
+            EventKind::RepairTimerSet { .. } => "repair_timer_set",
+            EventKind::RepairTimerCancelled => "repair_timer_cancelled",
+            EventKind::RepairSent => "repair_sent",
+            EventKind::RepairHeard { .. } => "repair_heard",
+            EventKind::HoldDownEntered { .. } => "hold_down_entered",
+            EventKind::Recovered { .. } => "recovered",
+            EventKind::GaveUp => "gave_up",
+        }
+    }
+}
+
+/// An event as captured by a [`Recorder`](crate::Recorder): timestamp + ADU
+/// key + kind, plus the recorder-local sequence number that keeps merge order
+/// stable when several events share a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Simulation time the event occurred.
+    pub at: SimTime,
+    /// The ADU the episode is keyed on.
+    pub adu: AduKey,
+    /// What happened.
+    pub kind: EventKind,
+    /// Recorder-local sequence number (monotone per member).
+    pub seq: u64,
+}
+
+/// A named fault window (from the netsim fault plan) that recovery spans nest
+/// inside — e.g. a partition, a crash, or a loss burst.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpan {
+    /// Human-readable label, e.g. `"partition"` or `"crash"`.
+    pub label: String,
+    /// When the fault began.
+    pub start: SimTime,
+    /// When the fault ended; `None` for faults that persist to the end of the
+    /// run (e.g. a source crash with no restart).
+    pub end: Option<SimTime>,
+}
+
+impl FaultSpan {
+    /// Does simulation time `t` fall inside this fault window?
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && self.end.is_none_or(|e| t <= e)
+    }
+}
+
+/// Format a [`SimTime`] as exact decimal seconds with nanosecond precision.
+///
+/// Pure integer formatting of the underlying nanosecond counter, so output is
+/// bit-for-bit deterministic across platforms — the property the golden-file
+/// trace tests pin.
+pub fn fmt_time(t: SimTime) -> String {
+    let n = t.as_nanos();
+    format!("{}.{:09}", n / 1_000_000_000, n % 1_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adu_key_display_matches_protocol_format() {
+        let k = AduKey { source: 1, page_creator: 1, page_number: 0, seq: 5 };
+        assert_eq!(k.to_string(), "s1:s1/p0:5");
+    }
+
+    #[test]
+    fn fmt_time_is_exact_integer_nanos() {
+        assert_eq!(fmt_time(SimTime::from_nanos(0)), "0.000000000");
+        assert_eq!(fmt_time(SimTime::from_nanos(1_234_567_891)), "1.234567891");
+        assert_eq!(fmt_time(SimTime::from_nanos(12_000_000_000)), "12.000000000");
+    }
+
+    #[test]
+    fn fault_span_contains_open_and_closed() {
+        let t = SimTime::from_nanos;
+        let closed = FaultSpan { label: "p".into(), start: t(10), end: Some(t(20)) };
+        assert!(!closed.contains(t(9)));
+        assert!(closed.contains(t(10)));
+        assert!(closed.contains(t(20)));
+        assert!(!closed.contains(t(21)));
+        let open = FaultSpan { label: "c".into(), start: t(10), end: None };
+        assert!(open.contains(t(10)));
+        assert!(open.contains(t(1_000_000)));
+        assert!(!open.contains(t(9)));
+    }
+}

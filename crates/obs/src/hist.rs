@@ -1,0 +1,235 @@
+//! Low-overhead log-scale histograms.
+//!
+//! Recovery delays, duplicate counts and bandwidth shares span several orders
+//! of magnitude (the paper plots delay/RTT from below 1 to tens of RTTs), so
+//! a log-scale histogram with a handful of buckets per octave captures the
+//! shape with O(1) record cost and a few hundred bytes of state.  Buckets are
+//! kept in a `BTreeMap` so iteration — and therefore every rendered report —
+//! is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Sub-buckets per octave (power of two).  Four gives ~19% bucket width,
+/// plenty for report-level summaries.
+const SUBDIV: f64 = 4.0;
+
+/// A log-scale histogram over positive `f64` samples.
+///
+/// Zero (and negative) samples are counted in a dedicated `zeros` bucket so
+/// that "no duplicates" — by far the common case for dup-request counts —
+/// does not distort the log buckets.  Exact min/max/sum are tracked alongside
+/// the buckets, so `mean`, `min` and `max` are exact; quantiles are resolved
+/// to the geometric midpoint of their bucket (≤ ~10% relative error).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    buckets: BTreeMap<i32, u64>,
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+fn bucket_index(v: f64) -> i32 {
+    (v.log2() * SUBDIV).floor() as i32
+}
+
+fn bucket_mid(i: i32) -> f64 {
+    ((i as f64 + 0.5) / SUBDIV).exp2()
+}
+
+impl LogHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Record one sample.  Non-finite samples are ignored; samples `<= 0`
+    /// land in the zeros bucket.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if v <= 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the geometric midpoint of
+    /// the bucket containing the `q`-th sample.  Zero-bucket samples resolve
+    /// to `0.0`.  `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based, same "nearest-rank" convention
+        // throughout so quantile(0.5) of one sample is that sample's bucket.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank <= self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_mid(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// One-line summary: `n=.. mean=.. p50=.. p90=.. p99=.. max=..`.
+    pub fn summary_line(&self) -> String {
+        match self.mean() {
+            None => "n=0".to_string(),
+            Some(mean) => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+                    self.count,
+                    mean,
+                    self.quantile(0.50).unwrap_or(0.0),
+                    self.quantile(0.90).unwrap_or(0.0),
+                    self.quantile(0.99).unwrap_or(0.0),
+                    self.max,
+                );
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary_line(), "n=0");
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean().unwrap() - 3.75).abs() < 1e-12);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(8.0));
+    }
+
+    #[test]
+    fn quantile_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 10.0); // 0.1 .. 100.0
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // True median is 50.05; a quarter-octave bucket is ~±10%.
+        assert!((p50 / 50.05).ln().abs() < 0.25, "p50={p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 / 99.05).ln().abs() < 0.25, "p99={p99}");
+    }
+
+    #[test]
+    fn zeros_bucket_does_not_distort() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(0.0);
+        }
+        for _ in 0..10 {
+            h.record(3.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert!(h.quantile(0.95).unwrap() > 2.0);
+        assert!((h.mean().unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [0.5, 1.5, 2.5] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0.0, 4.0, 16.0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging into an empty histogram copies.
+        let mut e = LogHistogram::new();
+        e.merge(&all);
+        assert_eq!(e, all);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut h = LogHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Exact sample statistics shared by the experiment figures and the report
+//! CLI.
+//!
+//! Moved here from the experiment harness so that figures and observability
+//! reports use one implementation; the algorithm (linear-interpolated
+//! percentiles over the sorted sample) is **unchanged**, which keeps every
+//! committed figure CSV byte-identical.  The paper's scatter plots draw "the
+//! median from the twenty simulations … the two dotted lines mark the upper
+//! and lower quartiles".
+
+/// A five-number-ish summary of one batch of simulations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// Summarize a sample. Returns `None` for an empty slice.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in summaries"));
+    let n = v.len();
+    Some(Summary {
+        n,
+        min: v[0],
+        q1: percentile(&v, 0.25),
+        median: percentile(&v, 0.5),
+        q3: percentile(&v, 0.75),
+        max: v[n - 1],
+        mean: v.iter().sum::<f64>() / n as f64,
+    })
+}
+
+/// Linear-interpolated percentile of a sorted slice, `p ∈ [0, 1]`.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl Summary {
+    /// Render as the fixed-width cell used in the text tables.
+    pub fn cell(&self) -> String {
+        format!("{:6.2} [{:5.2},{:5.2}]", self.median, self.q1, self.q3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = summarize(&[3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 3.0);
+        assert_eq!(s.q3, 3.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn known_quartiles() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = summarize(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn interpolation_between_ranks() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_format_is_stable() {
+        let s = summarize(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.cell(), "  2.00 [ 1.50, 2.50]");
+    }
+}

@@ -17,7 +17,13 @@ cargo test -q
 echo "== test (workspace) =="
 cargo test --workspace -q
 
+echo "== golden trace (observability JSONL pins) =="
+cargo test -q --test golden_trace
+
 echo "== clippy (workspace, warnings are errors) =="
 cargo clippy --workspace -- -D warnings
+
+echo "== rustdoc (no warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "CI OK"
