@@ -13,6 +13,7 @@
 
 use crate::adaptive::AdaptiveTimers;
 use crate::clock::DistanceEstimator;
+use crate::driver::Driver;
 use crate::config::{RecoveryScope, SrmConfig, TimerParams};
 use crate::fec::{reconstruct, Parity, ParityEncoder};
 use crate::hierarchy::{HierarchyState, SessionScope};
@@ -265,7 +266,15 @@ impl SrmAgent {
         }
     }
 
-    /// Take everything delivered since the last call.
+    /// The per-message byte size the session scheduler currently charges
+    /// against the session-bandwidth budget: the configured nominal size
+    /// until the first session message goes out, then the last emitted
+    /// message's encoded on-wire length.
+    pub fn session_msg_bytes(&self) -> f64 {
+        self.scheduler.msg_bytes
+    }
+
+    /// Drain ADUs delivered to the application since the last call.
     pub fn take_delivered(&mut self) -> Vec<Delivery> {
         std::mem::take(&mut self.delivered)
     }
@@ -283,7 +292,7 @@ impl SrmAgent {
     }
 
     /// Originate a new ADU on `page`. Returns its name.
-    pub fn send_data(&mut self, ctx: &mut Ctx<'_>, page: PageId, payload: Bytes) -> AduName {
+    pub fn send_data(&mut self, ctx: &mut dyn Driver, page: PageId, payload: Bytes) -> AduName {
         let seq = self.next_seq.entry(page).or_insert(SeqNo::ZERO);
         let name = AduName::new(self.id, page, *seq);
         *seq = seq.next();
@@ -320,7 +329,7 @@ impl SrmAgent {
     }
 
     /// Multicast a page-state request (late joiner / browsing, §III-A).
-    pub fn request_page_state(&mut self, ctx: &mut Ctx<'_>, page: PageId) {
+    pub fn request_page_state(&mut self, ctx: &mut dyn Driver, page: PageId) {
         let body = Body::PageRequest(PageRequestBody { page });
         self.transmit(
             ctx,
@@ -333,7 +342,7 @@ impl SrmAgent {
     /// Ask the session which pages exist (§III-A: late joiners "issue page
     /// requests to learn the existence of previous pages"). Answers appear
     /// through [`SrmAgent::take_discovered_pages`].
-    pub fn request_page_catalog(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn request_page_catalog(&mut self, ctx: &mut dyn Driver) {
         self.transmit(
             ctx,
             Body::PageCatalogRequest,
@@ -350,13 +359,13 @@ impl SrmAgent {
     }
 
     /// Send a session message immediately (also used by experiment warm-up).
-    pub fn send_session_now(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn send_session_now(&mut self, ctx: &mut dyn Driver) {
         self.emit_session(ctx, self.current_page);
     }
 
     // ---- internals: timers -------------------------------------------------
 
-    fn arm(&mut self, ctx: &mut Ctx<'_>, delay: SimDuration, purpose: Purpose) -> TimerHandle {
+    fn arm(&mut self, ctx: &mut dyn Driver, delay: SimDuration, purpose: Purpose) -> TimerHandle {
         let token = self.next_token;
         self.next_token += 1;
         self.purposes.insert(token, purpose);
@@ -364,36 +373,40 @@ impl SrmAgent {
         TimerHandle { id, token }
     }
 
-    fn disarm(&mut self, ctx: &mut Ctx<'_>, h: TimerHandle) {
+    fn disarm(&mut self, ctx: &mut dyn Driver, h: TimerHandle) {
         ctx.cancel_timer(h.id);
         self.purposes.remove(&h.token);
     }
 
     // ---- internals: transmission -------------------------------------------
 
-    fn send_now(&mut self, ctx: &mut Ctx<'_>, group: GroupId, body: Body, opts: SendOptions) {
+    /// Encode and multicast a message immediately; returns the encoded
+    /// on-wire byte length.
+    fn send_now(&mut self, ctx: &mut dyn Driver, group: GroupId, body: Body, opts: SendOptions) -> u32 {
         let msg = Message {
             header: Header {
                 sender: self.id,
                 // The node's local clock, so clock skew/drift faults are
                 // visible to peers' distance estimators just as NTP error
-                // would be (identical to ctx.now when unfaulted).
+                // would be (identical to the driver's now when unfaulted).
                 timestamp: ctx.local_now(),
             },
             body,
         };
         let payload = msg.encode();
-        ctx.multicast_with(group, payload, opts);
+        let wire_len = payload.len() as u32;
+        ctx.multicast(group, payload, opts);
+        wire_len
     }
 
-    fn transmit(&mut self, ctx: &mut Ctx<'_>, body: Body, class: SendClass, opts: SendOptions) {
+    fn transmit(&mut self, ctx: &mut dyn Driver, body: Body, class: SendClass, opts: SendOptions) {
         let group = self.group;
         self.transmit_to(ctx, group, body, class, opts);
     }
 
     fn transmit_to(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut dyn Driver,
         group: GroupId,
         body: Body,
         class: SendClass,
@@ -403,7 +416,7 @@ impl SrmAgent {
         // Outbound data/repair/parity traffic counts toward the measured
         // aggregate data bandwidth (§III-A).
         if matches!(opts.flow, flow::DATA | flow::REPAIR | flow::PARITY) {
-            self.data_meter.record(ctx.now, size as u64);
+            self.data_meter.record(ctx.now(), size as u64);
         }
         if self.bucket.is_none() {
             self.send_now(ctx, group, body, opts);
@@ -421,10 +434,10 @@ impl SrmAgent {
         self.drain_sendq(ctx);
     }
 
-    fn drain_sendq(&mut self, ctx: &mut Ctx<'_>) {
+    fn drain_sendq(&mut self, ctx: &mut dyn Driver) {
         while let Some(size) = self.sendq.peek_size() {
             let bucket = self.bucket.as_mut().expect("drain only with a bucket");
-            if bucket.try_consume(ctx.now, size as f64) {
+            if bucket.try_consume(ctx.now(), size as f64) {
                 let m = self.sendq.pop().expect("peeked");
                 self.send_now(ctx, m.group, m.body, m.opts);
             } else {
@@ -432,7 +445,7 @@ impl SrmAgent {
                     // Floor the wait at 1 ms so rounding can never produce
                     // a zero-length (livelocking) gate timer.
                     let wait = bucket
-                        .time_until_available(ctx.now, size as f64)
+                        .time_until_available(ctx.now(), size as f64)
                         .max(SimDuration::from_millis(1));
                     let h = self.arm(ctx, wait, Purpose::RateGate);
                     self.rate_gate = Some(h);
@@ -491,7 +504,7 @@ impl SrmAgent {
     // ---- internals: loss detection and request side -------------------------
 
     /// Begin recovery for each newly discovered missing ADU.
-    fn start_requests(&mut self, ctx: &mut Ctx<'_>, missing: Vec<AduName>) {
+    fn start_requests(&mut self, ctx: &mut dyn Driver, missing: Vec<AduName>) {
         for name in missing {
             if name.source == self.id && !self.rejoining {
                 continue; // our own stream cannot be missing (unless we
@@ -503,7 +516,7 @@ impl SrmAgent {
             self.losses_detected += 1;
             self.fingerprint.record(name);
             self.obs
-                .record(ctx.now, adu_key(name), obs::EventKind::GapDetected);
+                .record(ctx.now(), adu_key(name), obs::EventKind::GapDetected);
             // wb 1.59 mode uses a fixed [c, 2c] interval; the distance-
             // scaled framework uses [C1·d, (C1+C2)·d].
             let (c1, c2, dist) = match self.cfg.fixed_intervals {
@@ -513,14 +526,14 @@ impl SrmAgent {
                     (p.c1, p.c2, self.est.distance_to(name.source))
                 }
             };
-            let (state, delay) = RequestState::new(name, ctx.now, c1, c2, dist, ctx.rng());
+            let (state, delay) = RequestState::new(name, ctx.now(), c1, c2, dist, ctx.rng());
             if let Some(a) = self.adaptive.as_mut() {
                 a.on_request_timer_set(name);
             }
             let h = self.arm(ctx, delay, Purpose::Request(name));
             self.request_timers.insert(name, h);
             self.obs.record(
-                ctx.now,
+                ctx.now(),
                 adu_key(name),
                 obs::EventKind::RequestTimerSet {
                     until: state.expire_at,
@@ -541,7 +554,7 @@ impl SrmAgent {
     /// suppressed by someone else's invitation — the same timer-and-damping
     /// idiom as requests, so one group forms per neighborhood instead of
     /// one per member.
-    fn maybe_create_recovery_group(&mut self, ctx: &mut Ctx<'_>) {
+    fn maybe_create_recovery_group(&mut self, ctx: &mut dyn Driver) {
         let Some(rg) = self.cfg.recovery_groups else {
             return;
         };
@@ -566,7 +579,7 @@ impl SrmAgent {
     }
 
     /// The (unsuppressed) invite timer fired: create the group and invite.
-    fn invite_timer_fired(&mut self, ctx: &mut Ctx<'_>) {
+    fn invite_timer_fired(&mut self, ctx: &mut dyn Driver) {
         self.invite_timer = None;
         let Some(rg) = self.cfg.recovery_groups else {
             return;
@@ -589,7 +602,7 @@ impl SrmAgent {
 
     /// A scoped recovery-group invitation arrived; "nearby" members join,
     /// and any pending creation timer of our own is suppressed.
-    fn handle_recovery_invite(&mut self, ctx: &mut Ctx<'_>, group: u32) {
+    fn handle_recovery_invite(&mut self, ctx: &mut dyn Driver, group: u32) {
         if self.cfg.recovery_groups.is_none() {
             return;
         }
@@ -638,7 +651,7 @@ impl SrmAgent {
         rec.repairs_observed = st.repairs_observed;
     }
 
-    fn request_timer_fired(&mut self, ctx: &mut Ctx<'_>, name: AduName) {
+    fn request_timer_fired(&mut self, ctx: &mut dyn Driver, name: AduName) {
         let Some(mut st) = self.requests.remove(&name) else {
             return;
         };
@@ -650,13 +663,13 @@ impl SrmAgent {
                     rec.gave_up = true;
                 }
                 self.obs
-                    .record(ctx.now, adu_key(name), obs::EventKind::GaveUp);
+                    .record(ctx.now(), adu_key(name), obs::EventKind::GaveUp);
                 return;
             }
         }
         let had_event = st.first_request_event_at.is_some();
         let rounds_before = st.requests_sent;
-        let redelay = st.on_timer_expired(ctx.now, self.cfg.backoff, ctx.rng());
+        let redelay = st.on_timer_expired(ctx.now(), self.cfg.backoff, ctx.rng());
         if !had_event {
             let rtt = st.dist_to_source.as_secs_f64() * 2.0;
             if let (Some(d), Some(a)) = (st.request_delay(), self.adaptive.as_mut()) {
@@ -683,7 +696,7 @@ impl SrmAgent {
         self.transmit_to(ctx, group, body, class, opts);
         self.metrics.requests_sent += 1;
         self.obs.record(
-            ctx.now,
+            ctx.now(),
             adu_key(name),
             obs::EventKind::RequestSent {
                 round: rounds_before + 1,
@@ -701,7 +714,7 @@ impl SrmAgent {
         let h = self.arm(ctx, redelay, Purpose::Request(name));
         self.request_timers.insert(name, h);
         self.obs.record(
-            ctx.now,
+            ctx.now(),
             adu_key(name),
             obs::EventKind::RequestTimerSet {
                 until: st.expire_at,
@@ -715,7 +728,7 @@ impl SrmAgent {
     /// A request from another member arrived for a name we are also missing.
     fn suppress_or_backoff(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut dyn Driver,
         name: AduName,
         from: SourceId,
         their_dist: f64,
@@ -724,12 +737,12 @@ impl SrmAgent {
             return;
         };
         self.obs.record(
-            ctx.now,
+            ctx.now(),
             adu_key(name),
             obs::EventKind::RequestHeard { from: from.0 },
         );
         let had_event = st.first_request_event_at.is_some();
-        let action = st.on_request_heard(ctx.now, self.cfg.backoff, ctx.rng());
+        let action = st.on_request_heard(ctx.now(), self.cfg.backoff, ctx.rng());
         if !had_event {
             let rtt = st.dist_to_source.as_secs_f64() * 2.0;
             if let (Some(d), Some(a)) = (st.request_delay(), self.adaptive.as_mut()) {
@@ -752,7 +765,7 @@ impl SrmAgent {
                 let h = self.arm(ctx, delay, Purpose::Request(name));
                 self.request_timers.insert(name, h);
                 self.obs.record(
-                    ctx.now,
+                    ctx.now(),
                     adu_key(name),
                     obs::EventKind::RequestBackoff {
                         until: st.expire_at,
@@ -762,7 +775,7 @@ impl SrmAgent {
             }
             RequestAction::None => {
                 self.obs
-                    .record(ctx.now, adu_key(name), obs::EventKind::RequestSuppressed);
+                    .record(ctx.now(), adu_key(name), obs::EventKind::RequestSuppressed);
             }
         }
         self.sync_request_record(&st);
@@ -771,14 +784,14 @@ impl SrmAgent {
 
     // ---- internals: repair side ---------------------------------------------
 
-    fn maybe_schedule_repair(&mut self, ctx: &mut Ctx<'_>, name: AduName, pkt: &Packet, req: &RequestBody, sender: SourceId) {
+    fn maybe_schedule_repair(&mut self, ctx: &mut dyn Driver, name: AduName, pkt: &Packet, req: &RequestBody, sender: SourceId) {
         // Hold-down: "host B ignores requests for data for 3·d_SB seconds
         // after sending or receiving a repair for that data."
         if let Some(&until) = self.hold_down_until.get(&name) {
-            if ctx.now < until {
+            if ctx.now() < until {
                 self.metrics.requests_held_down += 1;
                 self.obs
-                    .record(ctx.now, adu_key(name), obs::EventKind::RequestHeldDown);
+                    .record(ctx.now(), adu_key(name), obs::EventKind::RequestHeldDown);
                 return;
             }
         }
@@ -806,7 +819,7 @@ impl SrmAgent {
         };
         let (mut st, delay) = RepairState::new(
             name,
-            ctx.now,
+            ctx.now(),
             sender,
             pkt.initial_ttl,
             pkt.admin_scoped,
@@ -825,7 +838,7 @@ impl SrmAgent {
         st.timer = Some(h.id);
         self.repair_timers.insert(name, h);
         self.obs.record(
-            ctx.now,
+            ctx.now(),
             adu_key(name),
             obs::EventKind::RepairTimerSet {
                 until: st.expire_at,
@@ -835,7 +848,7 @@ impl SrmAgent {
         self.repairs.insert(name, st);
     }
 
-    fn repair_timer_fired(&mut self, ctx: &mut Ctx<'_>, name: AduName) {
+    fn repair_timer_fired(&mut self, ctx: &mut dyn Driver, name: AduName) {
         let Some(mut st) = self.repairs.remove(&name) else {
             return;
         };
@@ -845,7 +858,7 @@ impl SrmAgent {
             return; // evicted since the request arrived
         };
         let had_event = st.first_repair_event_at.is_some();
-        st.on_timer_expired(ctx.now);
+        st.on_timer_expired(ctx.now());
         if !had_event {
             let rtt = st.dist_to_requestor.as_secs_f64() * 2.0;
             if let (Some(d), Some(a)) = (st.repair_delay(), self.adaptive.as_mut()) {
@@ -871,11 +884,11 @@ impl SrmAgent {
         self.transmit_to(ctx, group, body, class, opts);
         self.metrics.repairs_sent += 1;
         self.obs
-            .record(ctx.now, adu_key(name), obs::EventKind::RepairSent);
+            .record(ctx.now(), adu_key(name), obs::EventKind::RepairSent);
         if let Some(a) = self.adaptive.as_mut() {
             a.on_repair_sent();
         }
-        self.set_hold_down(ctx.now, name);
+        self.set_hold_down(ctx.now(), name);
         self.sync_repair_record(&st);
         self.repairs.insert(name, st);
     }
@@ -890,13 +903,13 @@ impl SrmAgent {
 
     // ---- internals: message handlers -----------------------------------------
 
-    fn handle_data(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet, hdr: &Header, d: DataBody) {
+    fn handle_data(&mut self, ctx: &mut dyn Driver, pkt: &Packet, hdr: &Header, d: DataBody) {
         if d.is_repair {
             self.metrics.repairs_received += 1;
         } else {
             self.metrics.data_received += 1;
         }
-        self.data_meter.record(ctx.now, pkt.size as u64);
+        self.data_meter.record(ctx.now(), pkt.size as u64);
         let name = d.name;
         // Gap detection must run before insertion (insertion advances the
         // stream's high-water mark); the arriving name itself is excluded.
@@ -937,7 +950,7 @@ impl SrmAgent {
             // Repair suppression and duplicate accounting.
             if self.repairs.contains_key(&name) {
                 self.obs.record(
-                    ctx.now,
+                    ctx.now(),
                     adu_key(name),
                     obs::EventKind::RepairHeard {
                         from: hdr.sender.0,
@@ -946,7 +959,7 @@ impl SrmAgent {
             }
             if let Some(st) = self.repairs.get_mut(&name) {
                 let had_event = st.first_repair_event_at.is_some();
-                st.on_repair_heard(ctx.now);
+                st.on_repair_heard(ctx.now());
                 if !had_event {
                     let rtt = st.dist_to_requestor.as_secs_f64() * 2.0;
                     if let (Some(del), Some(a)) = (st.repair_delay(), self.adaptive.as_mut()) {
@@ -964,7 +977,7 @@ impl SrmAgent {
                 if let Some(h) = self.repair_timers.remove(&name) {
                     self.disarm(ctx, h);
                     self.obs.record(
-                        ctx.now,
+                        ctx.now(),
                         adu_key(name),
                         obs::EventKind::RepairTimerCancelled,
                     );
@@ -974,7 +987,7 @@ impl SrmAgent {
                 }
                 self.sync_repair_record(&st2);
             }
-            self.set_hold_down(ctx.now, name);
+            self.set_hold_down(ctx.now(), name);
             // Two-step local recovery: a repair naming us as the requestor
             // is re-multicast with the TTL of our original request.
             if d.answering == Some(self.id) {
@@ -1000,17 +1013,17 @@ impl SrmAgent {
 
     /// Close out a loss-recovery episode for `name` (data arrived, by
     /// repair, original transmission, or FEC reconstruction).
-    fn complete_recovery(&mut self, ctx: &mut Ctx<'_>, name: AduName, via: obs::RecoveryVia) {
+    fn complete_recovery(&mut self, ctx: &mut dyn Driver, name: AduName, via: obs::RecoveryVia) {
         if let Some(st) = self.requests.remove(&name) {
             if let Some(h) = self.request_timers.remove(&name) {
                 self.disarm(ctx, h);
             }
             self.sync_request_record(&st);
             if let Some(rec) = self.metrics.recoveries.get_mut(&name) {
-                rec.recovered_at = Some(ctx.now);
+                rec.recovered_at = Some(ctx.now());
             }
             self.obs
-                .record(ctx.now, adu_key(name), obs::EventKind::Recovered { via });
+                .record(ctx.now(), adu_key(name), obs::EventKind::Recovered { via });
         }
     }
 
@@ -1028,7 +1041,7 @@ impl SrmAgent {
     /// A parity packet arrived: it both announces the block's existence
     /// (like a session message would) and may immediately reconstruct a
     /// single missing ADU.
-    fn handle_parity(&mut self, ctx: &mut Ctx<'_>, p: Parity) {
+    fn handle_parity(&mut self, ctx: &mut dyn Driver, p: Parity) {
         if p.source == self.id || p.k == 0 {
             return;
         }
@@ -1047,7 +1060,7 @@ impl SrmAgent {
 
     /// Attempt XOR reconstruction for a stored parity block; on success the
     /// recovered ADU is treated exactly like a received repair.
-    fn try_fec(&mut self, ctx: &mut Ctx<'_>, key: (SourceId, PageId, u64)) {
+    fn try_fec(&mut self, ctx: &mut dyn Driver, key: (SourceId, PageId, u64)) {
         let Some(p) = self.parities.get(&key).cloned() else {
             return;
         };
@@ -1073,7 +1086,7 @@ impl SrmAgent {
         }
     }
 
-    fn handle_request(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet, hdr: &Header, r: RequestBody) {
+    fn handle_request(&mut self, ctx: &mut dyn Driver, pkt: &Packet, hdr: &Header, r: RequestBody) {
         self.metrics.requests_received += 1;
         let name = r.name;
         if self.requests.contains_key(&name) {
@@ -1091,13 +1104,13 @@ impl SrmAgent {
         }
     }
 
-    fn handle_session(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet, hdr: &Header, s: SessionBody) {
+    fn handle_session(&mut self, ctx: &mut dyn Driver, pkt: &Packet, hdr: &Header, s: SessionBody) {
         self.metrics.session_received += 1;
         // Hierarchy bookkeeping: a *global* session message reveals a
         // representative; the carried initial TTL tells how far away.
         if let Some(h) = self.hier.as_mut() {
             if pkt.initial_ttl == netsim::TTL_GLOBAL {
-                h.on_global_session(self.id, hdr.sender, pkt.hops_traveled(), ctx.now);
+                h.on_global_session(self.id, hdr.sender, pkt.hops_traveled(), ctx.now());
             }
         }
         // Echo processing: find the echo of our own timestamp.
@@ -1126,7 +1139,7 @@ impl SrmAgent {
         }
     }
 
-    fn handle_page_request(&mut self, ctx: &mut Ctx<'_>, hdr: &Header, page: PageId) {
+    fn handle_page_request(&mut self, ctx: &mut dyn Driver, hdr: &Header, page: PageId) {
         // Answer (after a suppressible delay) if we know anything about the
         // page. The reply is a session message scoped to that page.
         if self.store.page_state(page).is_empty() {
@@ -1145,7 +1158,7 @@ impl SrmAgent {
 
     /// A catalog request arrived: schedule a suppressible reply (the same
     /// timer-and-damping idiom as repairs).
-    fn handle_catalog_request(&mut self, ctx: &mut Ctx<'_>, hdr: &Header) {
+    fn handle_catalog_request(&mut self, ctx: &mut dyn Driver, hdr: &Header) {
         if self.store.known_pages().is_empty() || self.catalog_reply_timer.is_some() {
             return;
         }
@@ -1158,7 +1171,7 @@ impl SrmAgent {
 
     /// A catalog arrived: suppress our own pending reply and surface any
     /// new pages to the application.
-    fn handle_catalog(&mut self, ctx: &mut Ctx<'_>, pages: Vec<PageId>) {
+    fn handle_catalog(&mut self, ctx: &mut dyn Driver, pages: Vec<PageId>) {
         if let Some(h) = self.catalog_reply_timer.take() {
             self.disarm(ctx, h);
         }
@@ -1178,7 +1191,7 @@ impl SrmAgent {
         }
     }
 
-    fn emit_session(&mut self, ctx: &mut Ctx<'_>, page: PageId) {
+    fn emit_session(&mut self, ctx: &mut dyn Driver, page: PageId) {
         let body = Body::Session(SessionBody {
             page,
             state: self.store.page_state(page),
@@ -1190,21 +1203,27 @@ impl SrmAgent {
         // just enough scope to reach their representative.
         let mut opts = SendOptions::for_flow(flow::SESSION);
         if let Some(h) = self.hier.as_mut() {
-            if let SessionScope::Local = h.decide(ctx.now) {
+            if let SessionScope::Local = h.decide(ctx.now()) {
                 opts = opts.with_ttl(h.cfg.local_ttl);
             }
         }
         let group = self.group;
-        self.send_now(ctx, group, body, opts);
+        let wire_len = self.send_now(ctx, group, body, opts);
+        // §III-A's 5% cap is on bytes actually on the wire: size the next
+        // interval from this message's *encoded* length (it grows with page
+        // state, echoes, and the loss fingerprint), not the configured
+        // nominal estimate — which on a real transport under-counts and
+        // would overspend the session budget.
+        self.scheduler.msg_bytes = f64::from(wire_len);
         self.metrics.session_sent += 1;
     }
 
-    fn schedule_session(&mut self, ctx: &mut Ctx<'_>) {
+    fn schedule_session(&mut self, ctx: &mut dyn Driver) {
         let group_size = self.est.peer_count() + 1;
         // §III-A: scale to the measured aggregate data bandwidth when so
         // configured, rather than a static allocation.
         if self.cfg.measured_session_bandwidth {
-            self.scheduler.bandwidth = self.data_meter.rate(ctx.now).max(1.0);
+            self.scheduler.bandwidth = self.data_meter.rate(ctx.now()).max(1.0);
         }
         let mut delay = self.scheduler.next_interval(group_size, ctx.rng());
         if delay > self.cfg.max_session_interval {
@@ -1235,18 +1254,29 @@ fn estimate_size(body: &Body) -> u32 {
     }
 }
 
-impl Application for SrmAgent {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+/// Transport-agnostic handler entry points (the driver seam).
+///
+/// These are the agent's real event handlers: any [`Driver`] — the
+/// `netsim` simulator or a wall-clock UDP runtime — feeds packets and
+/// timer expiries through them. The [`netsim::Application`] impl below is
+/// a thin forwarder, so simulation behaviour is exactly the driver-seam
+/// behaviour.
+impl SrmAgent {
+    /// The member came up: join the session group and start the session-
+    /// message schedule.
+    pub fn drive_start(&mut self, ctx: &mut dyn Driver) {
         ctx.join(self.group);
         if self.session_enabled {
             self.schedule_session(ctx);
         }
     }
 
-    fn on_crash(&mut self) {
-        // Full state loss: rebuild from scratch, carrying over only the
-        // identity, configuration, and the observer-side metrics (the
-        // experiment is watching the crash, the member is not).
+    /// The member's host crashed: full protocol state loss.
+    ///
+    /// Rebuilds from scratch, carrying over only the
+    /// identity, configuration, and the observer-side metrics (the
+    /// experiment is watching the crash, the member is not).
+    pub fn drive_crash(&mut self) {
         let mut metrics = std::mem::take(&mut self.metrics);
         metrics.drop_inflight();
         metrics.crashes += 1;
@@ -1258,10 +1288,12 @@ impl Application for SrmAgent {
         self.obs = obs;
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
-        // Rejoin as a late joiner (§III-A): learn which pages exist, then
-        // chase their state. `rejoining` lifts the own-source guards so we
-        // recover even our own pre-crash stream from the group.
+    /// The member's host came back up after a crash.
+    ///
+    /// Rejoin as a late joiner (§III-A): learn which pages exist, then
+    /// chase their state. `rejoining` lifts the own-source guards so we
+    /// recover even our own pre-crash stream from the group.
+    pub fn drive_restart(&mut self, ctx: &mut dyn Driver) {
         self.rejoining = true;
         ctx.join(self.group);
         if self.session_enabled {
@@ -1270,7 +1302,8 @@ impl Application for SrmAgent {
         self.request_page_catalog(ctx);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+    /// A packet addressed to a group this member has joined arrived.
+    pub fn drive_packet(&mut self, ctx: &mut dyn Driver, pkt: &Packet) {
         let msg = match Message::decode(pkt.payload.clone()) {
             Ok(m) => m,
             Err(_) => {
@@ -1297,7 +1330,8 @@ impl Application for SrmAgent {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    /// A previously armed timer fired with its `token`.
+    pub fn drive_timer(&mut self, ctx: &mut dyn Driver, token: u64) {
         let Some(purpose) = self.purposes.remove(&token) else {
             return; // cancelled or stale
         };
@@ -1328,6 +1362,28 @@ impl Application for SrmAgent {
                 );
             }
         }
+    }
+}
+
+impl Application for SrmAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.drive_start(ctx);
+    }
+
+    fn on_crash(&mut self) {
+        self.drive_crash();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.drive_restart(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        self.drive_packet(ctx, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.drive_timer(ctx, token);
     }
 }
 

@@ -1,0 +1,165 @@
+//! The driver seam: how an agent touches the world outside itself.
+//!
+//! [`SrmAgent`](crate::SrmAgent) is a pure protocol engine — everything it
+//! does to the outside (multicast a packet, join a group, arm a timer, read
+//! a clock, draw randomness) flows through the two small traits here.
+//! Anything that implements [`Clock`] + [`Transport`] (together: [`Driver`])
+//! can host an agent:
+//!
+//! - the discrete-event simulator: [`netsim::Ctx`] implements both, with
+//!   virtual time, the seeded per-simulation RNG, and SPT-forwarded
+//!   delivery — this is how every figure in the paper is reproduced;
+//! - a wall-clock runtime over live UDP sockets (the `srm-transport`
+//!   crate), with monotonic time, a timer wheel, and real datagrams.
+//!
+//! The seam is deliberately *exactly* the surface `netsim::Ctx` already
+//! offered, so the same agent code, timer draws, and adaptive algorithms
+//! run unmodified in simulation and on the wire. Types are shared with
+//! `netsim` ([`SimTime`], [`GroupId`], [`SendOptions`], [`TimerId`]): they
+//! are plain values with no simulator machinery attached, and reusing them
+//! keeps the two worlds byte-compatible at the [`crate::wire`] boundary.
+
+use bytes::Bytes;
+use netsim::{Ctx, GroupId, SendOptions, SimDuration, SimTime, TimerId};
+use rand::rngs::StdRng;
+
+/// A source of time, as seen by one session member.
+///
+/// Simulated drivers report virtual event time; real drivers report a
+/// monotonic wall clock. The two readings differ only under injected clock
+/// faults (or, on a real host, actual clock error).
+pub trait Clock {
+    /// The driver's authoritative "current time" — event time in the
+    /// simulator, monotonic elapsed time in a real runtime. Timer delays
+    /// are measured against this.
+    fn now(&self) -> SimTime;
+
+    /// This member's *local* reading of the current time, which is what
+    /// goes into outgoing message timestamps. Identical to [`Clock::now`]
+    /// unless a clock fault (or real clock error) is in effect; peers' NTP
+    /// style distance estimators see the difference.
+    fn local_now(&self) -> SimTime;
+}
+
+/// Packet transmission, group membership, timers, and randomness.
+///
+/// All effects are fire-and-forget: implementations may buffer them and
+/// apply them when the handler returns (the simulator does), so callers
+/// must not assume a send has happened before the handler finishes.
+pub trait Transport {
+    /// Multicast `payload` to `group` with explicit TTL / scope / flow
+    /// options.
+    fn multicast(&mut self, group: GroupId, payload: Bytes, opts: SendOptions);
+
+    /// Join a multicast group.
+    fn join(&mut self, group: GroupId);
+
+    /// Arm a one-shot timer `delay` from now; `token` comes back through
+    /// the timer handler. The returned [`TimerId`] can cancel it.
+    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId;
+
+    /// Cancel a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    fn cancel_timer(&mut self, id: TimerId);
+
+    /// The random number generator for timer draws. Deterministic and
+    /// simulation-global in `netsim`; per-node seeded in a real runtime.
+    fn rng(&mut self) -> &mut StdRng;
+}
+
+/// The full seam: what [`SrmAgent`](crate::SrmAgent) handlers receive.
+///
+/// Blanket-implemented for anything that is both a [`Clock`] and a
+/// [`Transport`].
+pub trait Driver: Clock + Transport {}
+
+impl<T: Clock + Transport + ?Sized> Driver for T {}
+
+impl Clock for Ctx<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn local_now(&self) -> SimTime {
+        Ctx::local_now(self)
+    }
+}
+
+impl Transport for Ctx<'_> {
+    fn multicast(&mut self, group: GroupId, payload: Bytes, opts: SendOptions) {
+        Ctx::multicast_with(self, group, payload, opts);
+    }
+
+    fn join(&mut self, group: GroupId) {
+        Ctx::join(self, group);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        Ctx::set_timer(self, delay, token)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        Ctx::cancel_timer(self, id);
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        Ctx::rng(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::generators::chain;
+    use netsim::{Application, NodeId, Packet, Simulator};
+    use rand::Rng;
+
+    /// An app that exercises every seam method through `dyn Driver`,
+    /// proving the `Ctx` impl delegates faithfully.
+    #[derive(Default)]
+    struct SeamProbe {
+        fired: Vec<u64>,
+        got: usize,
+        times: Vec<(SimTime, SimTime)>,
+    }
+
+    impl SeamProbe {
+        fn poke(&mut self, d: &mut dyn Driver) {
+            self.times.push((d.now(), d.local_now()));
+            d.join(GroupId(5));
+            let id = d.set_timer(SimDuration::from_secs(3), 1);
+            d.set_timer(SimDuration::from_secs(1), 2);
+            d.cancel_timer(id);
+            let _ = d.rng().random::<u64>();
+            d.multicast(
+                GroupId(5),
+                Bytes::from_static(b"probe"),
+                SendOptions::default(),
+            );
+        }
+    }
+
+    impl Application for SeamProbe {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: &Packet) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+            self.fired.push(token);
+        }
+    }
+
+    #[test]
+    fn ctx_implements_the_seam() {
+        let mut sim = Simulator::new(chain(2), 7);
+        sim.install(NodeId(0), SeamProbe::default());
+        sim.install(NodeId(1), SeamProbe::default());
+        sim.join(NodeId(1), GroupId(5));
+        sim.exec(NodeId(0), |app, ctx| app.poke(ctx));
+        sim.run_until_idle(SimTime::from_secs(10));
+        let a0 = sim.app(NodeId(0)).unwrap();
+        assert_eq!(a0.times, vec![(SimTime::ZERO, SimTime::ZERO)]);
+        assert_eq!(a0.fired, vec![2], "timer 1 was cancelled, timer 2 fired");
+        // The multicast reached the other member.
+        assert_eq!(sim.app(NodeId(1)).unwrap().got, 1);
+    }
+}

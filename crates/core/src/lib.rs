@@ -69,6 +69,7 @@ pub mod agent;
 pub mod bandwidth;
 pub mod clock;
 pub mod config;
+pub mod driver;
 pub mod fec;
 pub mod hierarchy;
 pub mod local;
@@ -86,6 +87,7 @@ pub mod wire;
 pub use adaptive::AdaptiveTimers;
 pub use agent::{Delivery, SrmAgent};
 pub use clock::DistanceEstimator;
+pub use driver::{Clock, Driver, Transport};
 pub use fec::{FecConfig, Parity};
 pub use hierarchy::{HierarchyConfig, HierarchyState, SessionScope};
 pub use config::{AdaptiveConfig, RateLimit, RecoveryScope, SrmConfig, TimerParams};

@@ -1,0 +1,248 @@
+//! `srm-node` — run one SRM session member over live UDP sockets.
+//!
+//! ```text
+//! srm-node join --id 2 --bind 127.0.0.1:7402 --peers 127.0.0.1:7401,127.0.0.1:7403
+//! srm-node send --id 1 --bind 127.0.0.1:7401 --peers ... --text "draw a blue line"
+//! srm-node join --id 3 --bind 0.0.0.0:7400 --mcast 239.66.66.0:7400
+//! ```
+//!
+//! `join` participates (receives, answers requests, repairs); `send`
+//! additionally multicasts each `--text` as one ADU. Both run for
+//! `--duration` seconds, print delivered ADUs, and with `--trace FILE`
+//! write the node's obs recovery timeline as JSONL on exit.
+
+use bytes::Bytes;
+use netsim::GroupId;
+use srm_transport::{Mode, Node, NodeOptions};
+use srm::{PageId, SourceId, SrmConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
+                [--group N] [--members N] [--text STRING]... [--duration SECS]
+                [--trace FILE] [--seed N] [--quiet]
+
+  join        participate in the session (receive, request, repair)
+  send        also multicast each --text as one ADU
+  --id N      this member's source id (unique small integer, required)
+  --bind A    local socket address, e.g. 127.0.0.1:7401 (required)
+  --peers L   comma-separated peer addresses: loopback/unicast mesh mode
+  --mcast A   base multicast group address, e.g. 239.66.66.0:7400
+  --group N   SRM group id (default 1)
+  --members N expected session size, sets timer constants (default 3)
+  --duration  seconds to stay in the session (default 10)
+  --trace F   write this node's obs timeline to F as JSONL on exit
+  --seed N    timer RNG seed (default derived from --id)
+  --drop-data N  force-drop this node's Nth outgoing DATA frame (0-based),
+              to demo loss recovery on a clean network
+  --quiet     do not print delivered ADUs";
+
+struct Args {
+    send_mode: bool,
+    id: u64,
+    bind: SocketAddr,
+    mode: Mode,
+    group: u32,
+    members: usize,
+    texts: Vec<String>,
+    duration: f64,
+    trace: Option<String>,
+    seed: Option<u64>,
+    drop_data: Option<u64>,
+    quiet: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("srm-node: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_default();
+    let send_mode = match cmd.as_str() {
+        "join" => false,
+        "send" => true,
+        "-h" | "--help" => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        other => die(&format!("unknown command {other:?}")),
+    };
+    let mut id = None;
+    let mut bind = None;
+    let mut peers: Option<Vec<SocketAddr>> = None;
+    let mut mcast: Option<SocketAddr> = None;
+    let mut group = 1u32;
+    let mut members = 3usize;
+    let mut texts = Vec::new();
+    let mut duration = 10.0f64;
+    let mut trace = None;
+    let mut seed = None;
+    let mut drop_data = None;
+    let mut quiet = false;
+
+    let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        argv.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--id" => {
+                id = Some(
+                    next(&mut argv, "--id")
+                        .parse()
+                        .unwrap_or_else(|_| die("--id must be an integer")),
+                )
+            }
+            "--bind" => {
+                bind = Some(
+                    next(&mut argv, "--bind")
+                        .parse()
+                        .unwrap_or_else(|_| die("--bind must be host:port")),
+                )
+            }
+            "--peers" => {
+                let list = next(&mut argv, "--peers");
+                let parsed: Result<Vec<SocketAddr>, _> =
+                    list.split(',').map(|p| p.trim().parse()).collect();
+                peers = Some(parsed.unwrap_or_else(|_| die("--peers must be host:port,host:port")));
+            }
+            "--mcast" => {
+                mcast = Some(
+                    next(&mut argv, "--mcast")
+                        .parse()
+                        .unwrap_or_else(|_| die("--mcast must be group-ip:port")),
+                )
+            }
+            "--group" => {
+                group = next(&mut argv, "--group")
+                    .parse()
+                    .unwrap_or_else(|_| die("--group must be an integer"))
+            }
+            "--members" => {
+                members = next(&mut argv, "--members")
+                    .parse()
+                    .unwrap_or_else(|_| die("--members must be an integer"))
+            }
+            "--text" => texts.push(next(&mut argv, "--text")),
+            "--duration" => {
+                duration = next(&mut argv, "--duration")
+                    .parse()
+                    .unwrap_or_else(|_| die("--duration must be seconds"))
+            }
+            "--trace" => trace = Some(next(&mut argv, "--trace")),
+            "--seed" => {
+                seed = Some(
+                    next(&mut argv, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| die("--seed must be an integer")),
+                )
+            }
+            "--drop-data" => {
+                drop_data = Some(
+                    next(&mut argv, "--drop-data")
+                        .parse()
+                        .unwrap_or_else(|_| die("--drop-data must be an integer")),
+                )
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let id = id.unwrap_or_else(|| die("--id is required"));
+    let bind = bind.unwrap_or_else(|| die("--bind is required"));
+    let mode = match (peers, mcast) {
+        (Some(p), None) => Mode::Mesh { peers: p },
+        (None, Some(SocketAddr::V4(base))) => Mode::Multicast { base },
+        (None, Some(_)) => die("--mcast must be an IPv4 group address"),
+        (Some(_), Some(_)) => die("--peers and --mcast are mutually exclusive"),
+        (None, None) => die("one of --peers or --mcast is required"),
+    };
+    if send_mode && texts.is_empty() {
+        die("send needs at least one --text");
+    }
+    Args {
+        send_mode,
+        id,
+        bind,
+        mode,
+        group,
+        members,
+        texts,
+        duration,
+        trace,
+        seed,
+        drop_data,
+        quiet,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let source = SourceId(args.id);
+    let cfg = SrmConfig::fixed(args.members);
+    let mut opts = NodeOptions::new(source, GroupId(args.group), cfg);
+    opts.trace = args.trace.is_some();
+    if let Some(s) = args.seed {
+        opts.seed = s;
+    }
+    if let Some(n) = args.drop_data {
+        opts.loss = srm_transport::LossPolicy::none().drop_nth(netsim::flow::DATA, n);
+    }
+
+    let node = match Node::spawn(args.bind, args.mode, opts) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("srm-node: cannot start on {}: {e}", args.bind);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "srm-node: member {} on {} (group {}), running {:.1}s",
+        args.id, args.bind, args.group, args.duration
+    );
+
+    if args.send_mode {
+        let page = PageId::new(source, 0);
+        for t in &args.texts {
+            let name = node.send_data(page, Bytes::from(t.clone().into_bytes()));
+            eprintln!("srm-node: sent {name}");
+        }
+    }
+
+    let deadline = Instant::now() + Duration::from_secs_f64(args.duration.max(0.0));
+    while Instant::now() < deadline {
+        for d in node.take_delivered() {
+            if !args.quiet {
+                let text = String::from_utf8_lossy(&d.payload);
+                let how = if d.via_repair { "repair" } else { "data" };
+                println!("{} [{how}] {text}", d.name);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let mut agent = node.shutdown();
+    let m = &agent.metrics;
+    eprintln!(
+        "srm-node: done — data_sent={} requests_sent={} repairs_sent={} session_sent={}",
+        m.data_sent, m.requests_sent, m.repairs_sent, m.session_sent
+    );
+    if let Some(path) = args.trace {
+        let tl = srm_transport::harvest_timeline(std::slice::from_mut(&mut agent));
+        match std::fs::write(&path, tl.to_jsonl()) {
+            Ok(()) => eprintln!("srm-node: trace: wrote {} events to {path}", tl.len()),
+            Err(e) => {
+                eprintln!("srm-node: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Monotonic wall clock mapped onto the simulator's time axis.
+//!
+//! The driver seam ([`srm::Clock`]) speaks [`SimTime`] — nanoseconds on a
+//! per-run axis starting at zero. In the simulator that axis is virtual
+//! event time; here it is real elapsed time since the node's runtime
+//! started, read from [`std::time::Instant`] so it is monotonic and immune
+//! to wall-clock steps. Each node has its own origin, which is exactly the
+//! paper's model: session-message timestamp echoes only ever *difference*
+//! clock readings, so per-host origins (and skew) cancel out of the
+//! distance estimates.
+
+use netsim::{SimDuration, SimTime};
+use std::time::{Duration, Instant};
+
+/// A monotonic clock whose zero is the moment it was created.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    origin: Instant,
+    /// Artificial offset added to [`WallClock::local_now`] readings only —
+    /// the wall-clock analogue of `netsim`'s clock-skew fault, useful for
+    /// exercising the NTP-style estimator over real sockets.
+    skew: SimDuration,
+}
+
+impl WallClock {
+    /// Start a clock; its `now()` reads zero at this instant.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+            skew: SimDuration::ZERO,
+        }
+    }
+
+    /// Start a clock whose local readings lead true time by `skew`.
+    pub fn with_skew(skew: SimDuration) -> Self {
+        WallClock {
+            origin: Instant::now(),
+            skew,
+        }
+    }
+
+    /// Monotonic elapsed time since the origin, on the [`SimTime`] axis.
+    pub fn now(&self) -> SimTime {
+        // u64 nanos overflow after ~584 years of uptime; saturate rather
+        // than panic.
+        let n = self.origin.elapsed().as_nanos();
+        SimTime::from_nanos(u64::try_from(n).unwrap_or(u64::MAX))
+    }
+
+    /// What this host *believes* the time is: `now()` plus any configured
+    /// skew. Goes into outgoing message timestamps.
+    pub fn local_now(&self) -> SimTime {
+        self.now() + self.skew
+    }
+
+    /// How long from now until `deadline`, as a [`Duration`] suitable for
+    /// `recv_timeout`; zero if the deadline already passed.
+    pub fn until(&self, deadline: SimTime) -> Duration {
+        let now = self.now();
+        if deadline <= now {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(deadline.since(now).as_nanos())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_near_zero_and_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        assert!(a.as_secs_f64() < 1.0);
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn skew_shifts_local_readings_only() {
+        let c = WallClock::with_skew(SimDuration::from_secs(5));
+        let now = c.now();
+        let local = c.local_now();
+        assert!(local.since(now) >= SimDuration::from_secs(5));
+        assert!(local.since(now) < SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn until_saturates_for_past_deadlines() {
+        let c = WallClock::new();
+        assert_eq!(c.until(SimTime::ZERO), Duration::ZERO);
+        let d = c.until(c.now() + SimDuration::from_secs(2));
+        assert!(d <= Duration::from_secs(2));
+        assert!(d > Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Datagram envelope: what actually crosses a UDP socket.
+//!
+//! The SRM wire format ([`srm::wire`]) deliberately carries no network-layer
+//! fields — in the simulator those ride on [`netsim::Packet`], and on a real
+//! network most of them would be IP-header properties (source, TTL,
+//! admin scope bit). A portable runtime over plain `std` UDP sockets cannot
+//! read the IP TTL of a received datagram, so the envelope carries the
+//! paper's Section VII-B3 extension literally: the initial TTL (and the
+//! rest of the simulator's packet metadata) travels *in the packet*, and
+//! receivers reconstruct a [`netsim::Packet`] from it for the agent.
+//!
+//! Layout (big-endian, 20-byte header):
+//!
+//! ```text
+//! magic "SRMT" | ver u8 | src u32 | group u32 | ttl u8 | initial_ttl u8 |
+//! flags u8 (bit0 = admin_scoped) | flow u32 | payload = wire::Message
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// First four bytes of every datagram.
+pub const MAGIC: [u8; 4] = *b"SRMT";
+/// Envelope format version.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Network-layer metadata for one datagram, plus the encoded SRM message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node (the runtime's node id, mirrored into
+    /// [`netsim::Packet::src`]).
+    pub src: u32,
+    /// Destination multicast group id (the SRM session or a local-recovery
+    /// group).
+    pub group: u32,
+    /// Remaining TTL as of transmission; receivers decrement per hop
+    /// traversed (one hop on a loopback mesh).
+    pub ttl: u8,
+    /// The TTL the packet was originally sent with (Section VII-B3).
+    pub initial_ttl: u8,
+    /// Administrative-scope flag (Section VII-B1).
+    pub admin_scoped: bool,
+    /// Traffic class ([`netsim::flow`]).
+    pub flow: u32,
+    /// Encoded [`srm::Message`] bytes.
+    pub payload: Bytes,
+}
+
+/// Why a datagram was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match — not ours.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Truncated => write!(f, "datagram shorter than envelope header"),
+            EnvelopeError::BadMagic => write!(f, "bad envelope magic"),
+            EnvelopeError::BadVersion(v) => write!(f, "unknown envelope version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+impl Envelope {
+    /// Serialize to one datagram's bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        b.put_slice(&MAGIC);
+        b.put_u8(VERSION);
+        b.put_u32(self.src);
+        b.put_u32(self.group);
+        b.put_u8(self.ttl);
+        b.put_u8(self.initial_ttl);
+        b.put_u8(self.admin_scoped as u8);
+        b.put_u32(self.flow);
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parse one received datagram. The payload is *not* decoded here —
+    /// the agent's packet handler owns [`srm::Message::decode`] and its
+    /// error handling, exactly as in the simulator.
+    pub fn decode(buf: &[u8]) -> Result<Envelope, EnvelopeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(EnvelopeError::Truncated);
+        }
+        let mut b = Bytes::copy_from_slice(buf);
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(EnvelopeError::BadMagic);
+        }
+        let ver = b.get_u8();
+        if ver != VERSION {
+            return Err(EnvelopeError::BadVersion(ver));
+        }
+        let src = b.get_u32();
+        let group = b.get_u32();
+        let ttl = b.get_u8();
+        let initial_ttl = b.get_u8();
+        let admin_scoped = b.get_u8() != 0;
+        let flow = b.get_u32();
+        Ok(Envelope {
+            src,
+            group,
+            ttl,
+            initial_ttl,
+            admin_scoped,
+            flow,
+            payload: b,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope {
+            src: 3,
+            group: 1,
+            ttl: 254,
+            initial_ttl: 255,
+            admin_scoped: true,
+            flow: 2,
+            payload: Bytes::from_static(b"opaque srm message"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample();
+        let wire = e.encode();
+        assert_eq!(wire.len(), HEADER_LEN + e.payload.len());
+        assert_eq!(Envelope::decode(&wire).unwrap(), e);
+    }
+
+    #[test]
+    fn rejects_short_foreign_and_future_datagrams() {
+        assert_eq!(Envelope::decode(b"SRM"), Err(EnvelopeError::Truncated));
+        let mut wire = sample().encode().to_vec();
+        wire[0] = b'X';
+        assert_eq!(Envelope::decode(&wire), Err(EnvelopeError::BadMagic));
+        let mut wire = sample().encode().to_vec();
+        wire[4] = 9;
+        assert_eq!(Envelope::decode(&wire), Err(EnvelopeError::BadVersion(9)));
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let e = Envelope {
+            payload: Bytes::new(),
+            ..sample()
+        };
+        assert_eq!(Envelope::decode(&e.encode()).unwrap(), e);
+    }
+}

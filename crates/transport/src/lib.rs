@@ -1,0 +1,57 @@
+//! # srm-transport — SRM over live UDP sockets
+//!
+//! The bridge from reproduction to system: a wall-clock runtime that hosts
+//! the *unmodified* [`SrmAgent`](srm::SrmAgent) — the exact protocol engine
+//! every simulated figure runs — on real `std::net::UdpSocket`s, through
+//! the [`srm::Driver`] seam.
+//!
+//! Pieces:
+//!
+//! - [`WallClock`]: monotonic elapsed time on the simulator's
+//!   [`SimTime`](netsim::SimTime) axis.
+//! - [`TimerWheel`]: min-heap one-shot timers with lazy cancellation — the
+//!   real-time stand-in for the simulator's event queue.
+//! - [`Envelope`]: the datagram frame carrying the simulator packet
+//!   metadata (source, TTL, scope, flow) around the untouched
+//!   [`srm::wire`] message encoding.
+//! - [`Node`] / [`NodeHandle`]: a thread-per-socket reactor per member —
+//!   receive thread feeding a channel, main loop interleaving datagrams
+//!   with [`TimerWheel`] deadlines.
+//! - [`Mode`]: real IP multicast (`join_multicast_v4`) or a unicast
+//!   loopback mesh (the CI-friendly stand-in for group delivery).
+//! - [`LossPolicy`]: deterministic send-side loss for recovery tests.
+//! - [`Harness`]: in-process multi-node loopback sessions.
+//!
+//! The `srm-node` binary wraps all of this in a CLI (`join` / `send`,
+//! `--trace FILE` for obs JSONL timelines).
+//!
+//! ## Example: two members on loopback
+//!
+//! ```no_run
+//! use srm_transport::Harness;
+//! use srm::{SrmConfig, SourceId, PageId};
+//! use netsim::GroupId;
+//! use bytes::Bytes;
+//!
+//! let cfg = SrmConfig::fixed(2);
+//! let h = Harness::loopback(2, GroupId(1), &cfg, |_, _, _| {}).unwrap();
+//! let page = PageId::new(SourceId(1), 0);
+//! h.nodes[0].send_data(page, Bytes::from_static(b"over real sockets"));
+//! std::thread::sleep(std::time::Duration::from_millis(200));
+//! assert_eq!(h.nodes[1].take_delivered().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod envelope;
+pub mod harness;
+pub mod runtime;
+pub mod wheel;
+
+pub use clock::WallClock;
+pub use envelope::{Envelope, EnvelopeError};
+pub use harness::{harvest_summary, harvest_timeline, Harness};
+pub use runtime::{LossPolicy, Mode, Node, NodeHandle, NodeOptions};
+pub use wheel::TimerWheel;

@@ -1,0 +1,594 @@
+//! The wall-clock node runtime: one [`SrmAgent`] over one live UDP socket.
+//!
+//! Architecture (no async runtime — the workspace builds offline):
+//!
+//! - a **receive thread** blocks on the socket (with a short read timeout so
+//!   shutdown is prompt) and forwards raw datagrams over an [`mpsc`]
+//!   channel;
+//! - the **reactor thread** owns the agent, a [`WallClock`], a
+//!   [`TimerWheel`] and a per-node seeded RNG. It waits on the channel with
+//!   a timeout bounded by the wheel's next deadline, so timers fire on time
+//!   and packets are handled as they arrive — the select loop a simulator
+//!   event queue collapses into `recv_timeout`;
+//! - every agent entry point goes through `RtDriver`, the wall-clock
+//!   implementation of the [`srm::Driver`] seam, so the protocol code that
+//!   runs here is byte-for-byte the code the simulator runs.
+//!
+//! Two [`Mode`]s cover deployment and CI:
+//!
+//! - [`Mode::Multicast`]: real IP multicast via `join_multicast_v4`; group
+//!   ids map onto a contiguous block of group addresses.
+//! - [`Mode::Mesh`]: a unicast fan-out to an explicit peer list. Multicast
+//!   on a loopback interface needs `SO_REUSEADDR`/`SO_REUSEPORT` to share
+//!   one port between processes, which `std::net` cannot set, so CI runs a
+//!   127.0.0.1 mesh instead: every send is replicated to every peer, which
+//!   is exactly the group-delivery model with a one-hop star topology.
+//!
+//! A [`LossPolicy`] interposes on the send path (per-flow, optionally
+//! per-destination), giving tests a deterministic way to force the losses
+//! SRM exists to repair.
+
+use crate::clock::WallClock;
+use crate::envelope::Envelope;
+use crate::wheel::TimerWheel;
+use bytes::Bytes;
+use netsim::{GroupId, NodeId, Packet, PacketId, SendOptions, SimDuration, SimTime, TimerId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srm::{AduName, Clock, Driver, PageId, SrmAgent, SrmConfig, SourceId, Transport};
+use srm::agent::Delivery;
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// How the runtime reaches the rest of the group.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Unicast fan-out: every multicast is sent once to each peer address.
+    /// The loopback deployment for CI and single-host demos.
+    Mesh {
+        /// The other members' socket addresses.
+        peers: Vec<SocketAddr>,
+    },
+    /// Real IP multicast. [`GroupId`] `g` maps to the group address
+    /// `base.ip() + g` (same port), so the session group and any
+    /// local-recovery groups the agent allocates land on distinct
+    /// addresses; pick a base with headroom inside 239.0.0.0/8.
+    Multicast {
+        /// Base group address and port.
+        base: SocketAddrV4,
+    },
+}
+
+impl Mode {
+    fn group_addr(base: SocketAddrV4, group: GroupId) -> SocketAddrV4 {
+        let ip = Ipv4Addr::from(u32::from(*base.ip()).wrapping_add(group.0));
+        SocketAddrV4::new(ip, base.port())
+    }
+}
+
+/// Deterministic send-side loss: drop the `nth` outgoing frame of a flow,
+/// optionally only towards one destination (mesh mode replicates a send per
+/// peer, so per-destination rules model a lossy link to one member while
+/// the rest of the group receives normally).
+#[derive(Debug, Default)]
+pub struct LossPolicy {
+    rules: Vec<LossRule>,
+}
+
+#[derive(Debug)]
+struct LossRule {
+    flow: u32,
+    dest: Option<SocketAddr>,
+    nth: u64,
+    seen: u64,
+}
+
+impl LossPolicy {
+    /// No loss.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Drop the `nth` (0-based) frame of `flow`, wherever it is headed.
+    pub fn drop_nth(mut self, flow: u32, nth: u64) -> Self {
+        self.rules.push(LossRule {
+            flow,
+            dest: None,
+            nth,
+            seen: 0,
+        });
+        self
+    }
+
+    /// Drop the `nth` (0-based) frame of `flow` addressed to `dest`.
+    pub fn drop_nth_to(mut self, flow: u32, dest: SocketAddr, nth: u64) -> Self {
+        self.rules.push(LossRule {
+            flow,
+            dest: Some(dest),
+            nth,
+            seen: 0,
+        });
+        self
+    }
+
+    /// Should this (flow, destination) frame be dropped? Each rule counts
+    /// the frames it matches; `dest` is `None` in multicast mode, where
+    /// only destination-less rules apply.
+    fn should_drop(&mut self, flow: u32, dest: Option<SocketAddr>) -> bool {
+        let mut drop = false;
+        for r in &mut self.rules {
+            if r.flow == flow && (r.dest.is_none() || r.dest == dest) {
+                if r.seen == r.nth {
+                    drop = true;
+                }
+                r.seen += 1;
+            }
+        }
+        drop
+    }
+}
+
+/// Per-node configuration for [`Node::spawn`].
+#[derive(Debug)]
+pub struct NodeOptions {
+    /// This member's persistent Source-ID (also the envelope's node id).
+    pub id: SourceId,
+    /// The session's multicast group.
+    pub group: GroupId,
+    /// Protocol configuration, shared with the simulator.
+    pub cfg: SrmConfig,
+    /// Seed for this node's timer RNG. The simulator draws every node's
+    /// timers from one simulation-global seeded RNG; on a real network each
+    /// host has its own, which is the deployment the paper describes.
+    pub seed: u64,
+    /// Run periodic session messages (on for any real deployment; tests of
+    /// a single recovery round may disable them and seed distances).
+    pub session_enabled: bool,
+    /// Enable the obs event recorder from the start.
+    pub trace: bool,
+    /// Pre-seeded distance estimates (assumed-converged state, as the
+    /// figure experiments use). Live session messages refine them.
+    pub initial_distances: Vec<(SourceId, SimDuration)>,
+    /// Clock skew applied to this node's local timestamps.
+    pub skew: SimDuration,
+    /// Send-side forced loss.
+    pub loss: LossPolicy,
+}
+
+impl NodeOptions {
+    /// Defaults: sessions on, no trace, no skew, no loss, seed derived
+    /// from the member id.
+    pub fn new(id: SourceId, group: GroupId, cfg: SrmConfig) -> Self {
+        NodeOptions {
+            id,
+            group,
+            cfg,
+            seed: 0x5EED_0000 ^ id.0,
+            session_enabled: true,
+            trace: false,
+            initial_distances: Vec::new(),
+            skew: SimDuration::ZERO,
+            loss: LossPolicy::none(),
+        }
+    }
+}
+
+/// Counters shared between the runtime and its [`NodeHandle`].
+#[derive(Debug, Default)]
+struct Counters {
+    frames_sent: AtomicU64,
+    frames_dropped: AtomicU64,
+    frames_received: AtomicU64,
+}
+
+/// The send half: socket + mode + interposed loss.
+struct Outbound {
+    socket: UdpSocket,
+    mode: Mode,
+    src: u32,
+    loss: LossPolicy,
+    counters: Arc<Counters>,
+}
+
+impl Outbound {
+    fn send(&mut self, group: GroupId, payload: Bytes, opts: SendOptions) {
+        if opts.ttl == 0 {
+            // A zero-TTL datagram never leaves the host.
+            return;
+        }
+        let wire = Envelope {
+            src: self.src,
+            group: group.0,
+            ttl: opts.ttl,
+            initial_ttl: opts.ttl,
+            admin_scoped: opts.admin_scoped,
+            flow: opts.flow,
+            payload,
+        }
+        .encode();
+        match &self.mode {
+            Mode::Mesh { peers } => {
+                for &p in peers {
+                    if self.loss.should_drop(opts.flow, Some(p)) {
+                        self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                    } else if self.socket.send_to(&wire, p).is_ok() {
+                        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Mode::Multicast { base } => {
+                let dest = Mode::group_addr(*base, group);
+                let _ = self.socket.set_multicast_ttl_v4(u32::from(opts.ttl));
+                if self.loss.should_drop(opts.flow, None) {
+                    self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                } else if self.socket.send_to(&wire, dest).is_ok() {
+                    self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn join_group(&mut self, group: GroupId) {
+        if let Mode::Multicast { base } = self.mode {
+            let addr = Mode::group_addr(base, group);
+            // Joining is best-effort: on interfaces without multicast the
+            // mesh mode is the supported path.
+            let _ = self
+                .socket
+                .join_multicast_v4(addr.ip(), &Ipv4Addr::UNSPECIFIED);
+        }
+    }
+}
+
+/// Wall-clock implementation of the agent's [`Driver`] seam: the borrowed
+/// view of the reactor's state handed to every agent entry point.
+struct RtDriver<'a> {
+    clock: &'a WallClock,
+    wheel: &'a mut TimerWheel,
+    rng: &'a mut StdRng,
+    out: &'a mut Outbound,
+    joined: &'a mut BTreeSet<GroupId>,
+}
+
+impl Clock for RtDriver<'_> {
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn local_now(&self) -> SimTime {
+        self.clock.local_now()
+    }
+}
+
+impl Transport for RtDriver<'_> {
+    fn multicast(&mut self, group: GroupId, payload: Bytes, opts: SendOptions) {
+        self.out.send(group, payload, opts);
+    }
+
+    fn join(&mut self, group: GroupId) {
+        if self.joined.insert(group) {
+            self.out.join_group(group);
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        self.wheel.arm(self.clock.now() + delay, token)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.wheel.cancel(id);
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A closure run against the live agent on the reactor thread.
+type ExecFn = Box<dyn FnOnce(&mut SrmAgent, &mut dyn Driver) + Send>;
+
+/// Work items the reactor waits on.
+enum Event {
+    /// A raw datagram from the receive thread.
+    Datagram(Vec<u8>),
+    /// Run a closure against the agent (the wall-clock analogue of
+    /// `Simulator::exec`).
+    Exec(ExecFn),
+    /// Stop the reactor and return the agent.
+    Shutdown,
+}
+
+/// How long the reactor sleeps when the wheel is empty. Purely a
+/// responsiveness bound — channel events wake it immediately.
+const IDLE_WAIT: Duration = Duration::from_millis(250);
+/// Read timeout on the receive thread's socket, bounding shutdown latency.
+const RECV_POLL: Duration = Duration::from_millis(25);
+
+/// Spawner for node runtimes.
+pub struct Node;
+
+impl Node {
+    /// Bind `bind` and start a runtime there.
+    pub fn spawn(bind: SocketAddr, mode: Mode, opts: NodeOptions) -> io::Result<NodeHandle> {
+        Node::spawn_on(UdpSocket::bind(bind)?, mode, opts)
+    }
+
+    /// Start a runtime on an already-bound socket (the harness binds all
+    /// sockets first so every node can list the others as peers).
+    pub fn spawn_on(socket: UdpSocket, mode: Mode, opts: NodeOptions) -> io::Result<NodeHandle> {
+        let addr = socket.local_addr()?;
+        let recv_socket = socket.try_clone()?;
+        recv_socket.set_read_timeout(Some(RECV_POLL))?;
+
+        let (tx, rx) = mpsc::channel::<Event>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+
+        let recv_tx = tx.clone();
+        let recv_stop = Arc::clone(&stop);
+        let recv_thread = thread::Builder::new()
+            .name(format!("srm-recv-{}", opts.id.0))
+            .spawn(move || {
+                let mut buf = vec![0u8; 64 * 1024];
+                while !recv_stop.load(Ordering::Relaxed) {
+                    match recv_socket.recv_from(&mut buf) {
+                        Ok((n, _from)) => {
+                            if recv_tx.send(Event::Datagram(buf[..n].to_vec())).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+
+        let id = opts.id;
+        let reactor_stop = Arc::clone(&stop);
+        let reactor_counters = Arc::clone(&counters);
+        let reactor = thread::Builder::new()
+            .name(format!("srm-node-{}", opts.id.0))
+            .spawn(move || {
+                let agent = run_reactor(socket, mode, opts, rx, reactor_counters);
+                reactor_stop.store(true, Ordering::Relaxed);
+                let _ = recv_thread.join();
+                agent
+            })?;
+
+        Ok(NodeHandle {
+            tx,
+            thread: Some(reactor),
+            addr,
+            id,
+            counters,
+        })
+    }
+}
+
+/// The reactor loop: fire due timers, then wait for the next datagram,
+/// command, or timer deadline.
+fn run_reactor(
+    socket: UdpSocket,
+    mode: Mode,
+    opts: NodeOptions,
+    rx: mpsc::Receiver<Event>,
+    counters: Arc<Counters>,
+) -> SrmAgent {
+    let clock = WallClock::with_skew(opts.skew);
+    let mut wheel = TimerWheel::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut joined: BTreeSet<GroupId> = BTreeSet::new();
+    let mut out = Outbound {
+        socket,
+        mode,
+        src: u32::try_from(opts.id.0).unwrap_or(u32::MAX),
+        loss: opts.loss,
+        counters: Arc::clone(&counters),
+    };
+
+    let mut agent = SrmAgent::new(opts.id, opts.group, opts.cfg);
+    agent.session_enabled = opts.session_enabled;
+    if opts.trace {
+        agent.obs.enable();
+    }
+    for (peer, d) in opts.initial_distances {
+        agent.distances_mut().set_distance(peer, d);
+    }
+
+    macro_rules! driver {
+        () => {
+            RtDriver {
+                clock: &clock,
+                wheel: &mut wheel,
+                rng: &mut rng,
+                out: &mut out,
+                joined: &mut joined,
+            }
+        };
+    }
+
+    agent.drive_start(&mut driver!());
+
+    let mut rx_seq = 0u64;
+    loop {
+        while let Some(token) = wheel.pop_expired(clock.now()) {
+            agent.drive_timer(&mut driver!(), token);
+        }
+        let wait = match wheel.next_deadline() {
+            Some(at) => clock.until(at).min(IDLE_WAIT),
+            None => IDLE_WAIT,
+        };
+        match rx.recv_timeout(wait) {
+            Ok(Event::Datagram(buf)) => {
+                let Ok(env) = Envelope::decode(&buf) else {
+                    continue; // not ours / corrupt header
+                };
+                // Self-delivery (multicast loopback echo) and traffic for
+                // groups we have not joined are the network's job to
+                // withhold in the simulator; filter them here.
+                if env.src == out.src || !joined.contains(&GroupId(env.group)) || env.ttl == 0 {
+                    continue;
+                }
+                counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                rx_seq += 1;
+                let pkt = Packet {
+                    id: PacketId(rx_seq),
+                    src: NodeId(env.src),
+                    group: GroupId(env.group),
+                    dest: None,
+                    // One observable hop on a mesh; real multicast hop
+                    // counts would need the received IP TTL, which std
+                    // sockets cannot read.
+                    ttl: env.ttl.saturating_sub(1),
+                    initial_ttl: env.initial_ttl,
+                    admin_scoped: env.admin_scoped,
+                    flow: env.flow,
+                    size: buf.len() as u32,
+                    payload: env.payload.clone(),
+                };
+                agent.drive_packet(&mut driver!(), &pkt);
+            }
+            Ok(Event::Exec(f)) => f(&mut agent, &mut driver!()),
+            Ok(Event::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+    }
+    agent
+}
+
+/// Client handle to a running node; drop (or [`NodeHandle::shutdown`])
+/// stops it.
+pub struct NodeHandle {
+    tx: mpsc::Sender<Event>,
+    thread: Option<thread::JoinHandle<SrmAgent>>,
+    addr: SocketAddr,
+    id: SourceId,
+    counters: Arc<Counters>,
+}
+
+impl NodeHandle {
+    /// The socket address this node receives on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The member id this node runs as.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// Run `f` against the live agent on the reactor thread and return its
+    /// result — the wall-clock `Simulator::exec`.
+    ///
+    /// # Panics
+    /// Panics if the runtime has already stopped.
+    pub fn exec<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce(&mut SrmAgent, &mut dyn Driver) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Event::Exec(Box::new(move |agent, drv| {
+                let _ = rtx.send(f(agent, drv));
+            })))
+            .expect("node runtime is running");
+        rrx.recv().expect("node runtime answered")
+    }
+
+    /// Multicast a new ADU on `page`; returns its name.
+    pub fn send_data(&self, page: PageId, payload: Bytes) -> AduName {
+        self.exec(move |a, d| a.send_data(d, page, payload))
+    }
+
+    /// Drain ADUs delivered to the application since the last call.
+    pub fn take_delivered(&self) -> Vec<Delivery> {
+        self.exec(|a, _| a.take_delivered())
+    }
+
+    /// Frames put on the wire (per peer in mesh mode).
+    pub fn frames_sent(&self) -> u64 {
+        self.counters.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames suppressed by the [`LossPolicy`].
+    pub fn frames_dropped(&self) -> u64 {
+        self.counters.frames_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames accepted from the socket (post filtering).
+    pub fn frames_received(&self) -> u64 {
+        self.counters.frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Stop the runtime and take the final agent (metrics, recorder, and
+    /// store intact) for harvesting.
+    pub fn shutdown(mut self) -> SrmAgent {
+        let _ = self.tx.send(Event::Shutdown);
+        self.thread
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("node runtime exited cleanly")
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = self.tx.send(Event::Shutdown);
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::flow;
+
+    #[test]
+    fn loss_policy_counts_per_rule() {
+        let mut p = LossPolicy::none().drop_nth(flow::DATA, 1);
+        assert!(!p.should_drop(flow::DATA, None));
+        assert!(p.should_drop(flow::DATA, None));
+        assert!(!p.should_drop(flow::DATA, None));
+        assert!(!p.should_drop(flow::SESSION, None));
+    }
+
+    #[test]
+    fn loss_policy_per_destination() {
+        let a: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:2000".parse().unwrap();
+        let mut p = LossPolicy::none().drop_nth_to(flow::DATA, b, 0);
+        assert!(!p.should_drop(flow::DATA, Some(a)));
+        assert!(p.should_drop(flow::DATA, Some(b)));
+        assert!(!p.should_drop(flow::DATA, Some(b)));
+        // Multicast sends (no destination) never match a per-dest rule.
+        let mut q = LossPolicy::none().drop_nth_to(flow::DATA, b, 0);
+        assert!(!q.should_drop(flow::DATA, None));
+    }
+
+    #[test]
+    fn group_addresses_are_contiguous_from_base() {
+        let base: SocketAddrV4 = "239.66.66.0:7400".parse().unwrap();
+        assert_eq!(
+            Mode::group_addr(base, GroupId(1)),
+            "239.66.66.1:7400".parse().unwrap()
+        );
+        assert_eq!(
+            Mode::group_addr(base, GroupId(300)),
+            "239.66.67.44:7400".parse().unwrap()
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! One-shot timer wheel for the wall-clock runtime.
+//!
+//! The simulator's event queue gives agents `set_timer`/`cancel_timer` for
+//! free; this is the real-time equivalent: a min-heap of deadlines plus a
+//! lazy cancellation set. The reactor asks for [`TimerWheel::next_deadline`]
+//! to bound its socket wait, then drains [`TimerWheel::pop_expired`] after
+//! every wake-up. Cancelled entries stay in the heap and are discarded when
+//! they surface, so both `arm` and `cancel` are `O(log n)` with no
+//! re-heapify.
+
+use netsim::{SimTime, TimerId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Pending one-shot timers ordered by deadline.
+///
+/// Ties on the deadline fire in arming order (the id is the heap
+/// tiebreaker), matching the simulator's FIFO-per-instant event order.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    next_id: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a one-shot timer at absolute time `at`; `token` is handed back
+    /// by [`TimerWheel::pop_expired`].
+    pub fn arm(&mut self, at: SimTime, token: u64) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Reverse((at, id, token)));
+        TimerId(id)
+    }
+
+    /// Cancel a pending timer; cancelling one that already fired (or was
+    /// never armed here) is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// The earliest live deadline, if any. Pops dead (cancelled) entries
+    /// encountered on the way.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(Reverse((at, id, _))) = self.heap.peek().copied() {
+            if self.cancelled.remove(&id) {
+                self.heap.pop();
+            } else {
+                return Some(at);
+            }
+        }
+        None
+    }
+
+    /// Pop the earliest live timer whose deadline is `<= now`, returning
+    /// its token. Call in a loop to drain everything due.
+    pub fn pop_expired(&mut self, now: SimTime) -> Option<u64> {
+        while let Some(Reverse((at, id, token))) = self.heap.peek().copied() {
+            if at > now {
+                return None;
+            }
+            self.heap.pop();
+            if !self.cancelled.remove(&id) {
+                return Some(token);
+            }
+        }
+        None
+    }
+
+    /// Number of entries still in the heap (including not-yet-collected
+    /// cancelled ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_with_fifo_ties() {
+        let mut w = TimerWheel::new();
+        w.arm(SimTime::from_secs(3), 30);
+        w.arm(SimTime::from_secs(1), 10);
+        w.arm(SimTime::from_secs(1), 11);
+        let now = SimTime::from_secs(5);
+        assert_eq!(w.pop_expired(now), Some(10));
+        assert_eq!(w.pop_expired(now), Some(11));
+        assert_eq!(w.pop_expired(now), Some(30));
+        assert_eq!(w.pop_expired(now), None);
+    }
+
+    #[test]
+    fn respects_now_boundary() {
+        let mut w = TimerWheel::new();
+        w.arm(SimTime::from_secs(2), 7);
+        assert_eq!(w.pop_expired(SimTime::from_secs(1)), None);
+        assert_eq!(w.pop_expired(SimTime::from_secs(2)), Some(7));
+    }
+
+    #[test]
+    fn cancellation_is_lazy_but_effective() {
+        let mut w = TimerWheel::new();
+        let a = w.arm(SimTime::from_secs(1), 1);
+        w.arm(SimTime::from_secs(2), 2);
+        w.cancel(a);
+        assert_eq!(w.len(), 2, "cancelled entry collected lazily");
+        assert_eq!(w.next_deadline(), Some(SimTime::from_secs(2)));
+        assert_eq!(w.pop_expired(SimTime::from_secs(9)), Some(2));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut w = TimerWheel::new();
+        let a = w.arm(SimTime::from_secs(1), 1);
+        assert_eq!(w.pop_expired(SimTime::from_secs(1)), Some(1));
+        w.cancel(a);
+        w.arm(SimTime::from_secs(2), 2);
+        assert_eq!(w.pop_expired(SimTime::from_secs(3)), Some(2));
+    }
+}

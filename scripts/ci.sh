@@ -17,6 +17,12 @@ cargo test -q
 echo "== test (workspace) =="
 cargo test --workspace -q
 
+echo "== srm-node (wall-clock transport binary builds) =="
+cargo build --release -p srm-transport --bin srm-node
+
+echo "== transport loopback (live-UDP loss recovery) =="
+cargo test -q --test transport_loopback
+
 echo "== golden trace (observability JSONL pins) =="
 cargo test -q --test golden_trace
 

@@ -36,19 +36,24 @@ fn session_rate_scales_with_group_size() {
         let (mut sim, members) = session(200, g, 42);
         // Warm-up discovery phase.
         sim.run_until(SimTime::from_secs(200));
-        let start_msgs: u64 = members
+        let start_msgs: Vec<u64> = members
             .iter()
             .map(|&m| sim.app(m).unwrap().metrics.session_sent)
-            .sum();
+            .collect();
         let start_t = sim.now();
         sim.run_until(start_t + SimDuration::from_secs(1000));
-        let end_msgs: u64 = members
+        // Charge each member's messages at its measured on-wire size (the
+        // scheduler tracks the last emitted message's encoded length).
+        let bytes: f64 = members
             .iter()
-            .map(|&m| sim.app(m).unwrap().metrics.session_sent)
+            .zip(&start_msgs)
+            .map(|(&m, &start)| {
+                let a = sim.app(m).unwrap();
+                (a.metrics.session_sent - start) as f64 * a.session_msg_bytes()
+            })
             .sum();
-        let msgs = (end_msgs - start_msgs) as f64;
         let cfg = SrmConfig::fixed(g);
-        let bytes_per_sec = msgs * cfg.session_msg_bytes / 1000.0;
+        let bytes_per_sec = bytes / 1000.0;
         let cap = cfg.session_fraction * cfg.session_bandwidth;
         assert!(
             bytes_per_sec <= cap * 1.6,
@@ -63,6 +68,45 @@ fn session_rate_scales_with_group_size() {
             );
         }
     }
+}
+
+/// The scheduler charges the *encoded on-wire* length of the session
+/// message just sent, not the configured nominal estimate — so the 5% cap
+/// holds for what actually crosses a socket.
+#[test]
+fn session_accounting_uses_encoded_wire_length() {
+    use srm::wire::{Body, Header, Message, SessionBody};
+
+    let (mut sim, members) = session(10, 3, 7);
+    let m0 = members[0];
+    let nominal = SrmConfig::fixed(3).session_msg_bytes;
+    assert_eq!(sim.app(m0).unwrap().session_msg_bytes(), nominal);
+
+    sim.exec(m0, |a, ctx| a.send_session_now(ctx));
+    let a = sim.app(m0).unwrap();
+    // Rebuild the message this fresh member must have emitted (no data,
+    // no peers heard, nothing lost) and compare encoded lengths; the
+    // timestamp does not change the length (fixed-width field).
+    let equivalent = Message {
+        header: Header {
+            sender: a.id,
+            timestamp: SimTime::ZERO,
+        },
+        body: Body::Session(SessionBody {
+            page: a.current_page(),
+            state: a.store().page_state(a.current_page()),
+            echoes: vec![],
+            loss_rate: 0.0,
+            loss_fingerprint: vec![],
+        }),
+    };
+    let expected = equivalent.encode().len() as f64;
+    assert_eq!(a.session_msg_bytes(), expected);
+    assert_ne!(
+        a.session_msg_bytes(),
+        nominal,
+        "measured size must replace the nominal estimate"
+    );
 }
 
 /// After a few session-message rounds, every member's distance estimate to

@@ -1,0 +1,183 @@
+//! End-to-end SRM recovery over live loopback UDP sockets.
+//!
+//! These are the wall-clock counterparts of the simulator reliability
+//! tests: real datagrams, real monotonic-clock timers, the same agent. A
+//! [`LossPolicy`] interposed on the sender's socket forces the loss; the
+//! tests then wait (bounded) for the receiver-driven request/repair
+//! exchange to restore the data, and inspect the obs timeline for the
+//! recovery chain the paper describes.
+//!
+//! Determinism note: timer *draws* are seeded per node, but thread
+//! scheduling is real. The tests therefore assert outcomes (recovery, who
+//! repaired) made robust by construction — seeded distance estimates put
+//! competing request/repair timers in disjoint ranges — rather than exact
+//! event interleavings.
+
+use bytes::Bytes;
+use netsim::{flow, GroupId, SimDuration};
+use srm::{PageId, SourceId, SrmConfig};
+use srm_transport::{harvest_timeline, Harness, LossPolicy};
+use std::time::{Duration, Instant};
+
+const GROUP: GroupId = GroupId(7);
+
+/// Poll `cond` every 20ms until it returns true or `secs` elapse.
+fn wait_for(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// Seed every pairwise distance estimate to `d` so request/repair timers
+/// are short and the test's wall-clock bound is tight.
+fn seed_uniform_distances(n: usize, opts: &mut srm_transport::NodeOptions, d: SimDuration) {
+    for peer in 1..=n as u64 {
+        if SourceId(peer) != opts.id {
+            opts.initial_distances.push((SourceId(peer), d));
+        }
+    }
+}
+
+/// Two members; the source's first DATA frame is eaten by the lossy socket
+/// wrapper. The receiver spots the gap when the next ADU arrives, requests
+/// the missing one, and the source repairs it — all over real UDP within a
+/// bounded wall-clock wait.
+#[test]
+fn two_node_loopback_drop_is_recovered() {
+    let cfg = SrmConfig::fixed(2);
+    let h = Harness::loopback(2, GROUP, &cfg, |i, _addrs, opts| {
+        opts.trace = true;
+        seed_uniform_distances(2, opts, SimDuration::from_millis(20));
+        if i == 0 {
+            // Drop the very first DATA frame the source puts on the wire.
+            opts.loss = LossPolicy::none().drop_nth(flow::DATA, 0);
+        }
+    })
+    .unwrap();
+
+    let page = PageId::new(SourceId(1), 0);
+    let lost = h.nodes[0].send_data(page, Bytes::from_static(b"lost on the wire"));
+    let seen = h.nodes[0].send_data(page, Bytes::from_static(b"reveals the gap"));
+
+    let mut got = Vec::new();
+    let recovered = wait_for(30, || {
+        got.extend(h.nodes[1].take_delivered());
+        got.iter().any(|d| d.name == lost)
+    });
+    assert!(recovered, "dropped ADU was not repaired within 30s");
+    assert!(got.iter().any(|d| d.name == seen));
+    let repaired = got.iter().find(|d| d.name == lost).unwrap();
+    assert!(repaired.via_repair, "lost ADU must arrive as a repair");
+    assert_eq!(repaired.payload.as_ref(), b"lost on the wire");
+    assert_eq!(h.nodes[0].frames_dropped(), 1);
+
+    let mut agents = h.shutdown();
+    assert_eq!(agents[1].metrics.requests_sent, 1);
+    assert_eq!(agents[0].metrics.repairs_sent, 1);
+    let tl = harvest_timeline(&mut agents);
+    let jsonl = tl.to_jsonl();
+    assert!(jsonl.contains("\"ev\":\"gap_detected\""));
+    assert!(jsonl.contains("\"ev\":\"request_sent\""));
+    assert!(jsonl.contains("\"ev\":\"recovered\""));
+}
+
+/// The acceptance demo: three members over real UDP, a loss forced on the
+/// path to ONE member only, repaired by a NON-SOURCE member.
+///
+/// Member 1 is the source; its first DATA frame towards member 3 is
+/// dropped, while member 2 receives it. Distances are seeded so member 2
+/// is near member 3 (10ms) and the source is far (500ms): member 3's
+/// request reaches both holders, and member 2's repair timer
+/// (D1·d = ~10-20ms) beats the source's (~0.5-1s) by construction, so
+/// member 2 answers — the paper's core claim that *any* member holding the
+/// data can repair. The obs timeline must show the full chain.
+#[test]
+fn three_node_loss_repaired_by_non_source() {
+    let cfg = SrmConfig::fixed(3);
+    let far = SimDuration::from_millis(500);
+    let near = SimDuration::from_millis(10);
+    let h = Harness::loopback(3, GROUP, &cfg, |i, addrs, opts| {
+        opts.trace = true;
+        // Single clean recovery round with assumed-converged distances, as
+        // the figure experiments run: live session messages would replace
+        // the seeded estimates with real loopback distances (microseconds)
+        // and collapse the timer separation this test is built on.
+        opts.session_enabled = false;
+        match i {
+            // Source: far from everyone; drops its first DATA frame to
+            // member 3 only.
+            0 => {
+                opts.initial_distances = vec![(SourceId(2), far), (SourceId(3), far)];
+                opts.loss = LossPolicy::none().drop_nth_to(flow::DATA, addrs[2], 0);
+            }
+            // Member 2: near member 3, far from the source.
+            1 => {
+                opts.initial_distances = vec![(SourceId(1), far), (SourceId(3), near)];
+            }
+            // Member 3: near member 2, far from the source — its request
+            // timer is scaled by the distance to the *source*, its repair
+            // will come from whoever fires first.
+            2 => {
+                opts.initial_distances = vec![(SourceId(1), far), (SourceId(2), near)];
+            }
+            _ => unreachable!(),
+        }
+    })
+    .unwrap();
+
+    let page = PageId::new(SourceId(1), 0);
+    let lost = h.nodes[0].send_data(page, Bytes::from_static(b"adu-0"));
+    let follow = h.nodes[0].send_data(page, Bytes::from_static(b"adu-1"));
+
+    // Member 2 gets both originals; member 3 must recover the dropped one.
+    let mut got2 = Vec::new();
+    assert!(wait_for(10, || {
+        got2.extend(h.nodes[1].take_delivered());
+        got2.len() >= 2
+    }));
+    let mut got3 = Vec::new();
+    let recovered = wait_for(30, || {
+        got3.extend(h.nodes[2].take_delivered());
+        got3.iter().any(|d| d.name == lost)
+    });
+    assert!(recovered, "member 3 did not recover the dropped ADU in 30s");
+    assert!(got3.iter().any(|d| d.name == follow));
+    assert!(got3.iter().find(|d| d.name == lost).unwrap().via_repair);
+
+    let mut agents = h.shutdown();
+    // The repair came from member 2, not the source.
+    assert_eq!(
+        agents[1].metrics.repairs_sent, 1,
+        "non-source member must send the repair"
+    );
+    assert_eq!(agents[0].metrics.repairs_sent, 0, "source must be suppressed");
+    assert_eq!(agents[2].metrics.requests_sent, 1);
+
+    // The trace shows the request/repair chain across members.
+    let tl = harvest_timeline(&mut agents);
+    let events = tl.events();
+    let key = srm::observe::adu_key(lost);
+    let req = events
+        .iter()
+        .find(|e| e.adu == key && e.kind.name() == "request_sent")
+        .expect("request_sent in timeline");
+    assert_eq!(req.member, 3);
+    let rep = events
+        .iter()
+        .find(|e| e.adu == key && e.kind.name() == "repair_sent")
+        .expect("repair_sent in timeline");
+    assert_eq!(rep.member, 2);
+    let rec = events
+        .iter()
+        .find(|e| e.member == 3 && e.adu == key && e.kind.name() == "recovered")
+        .expect("recovered in timeline");
+    assert!(rec.at >= req.at, "recovery follows the request");
+    // And it exports as JSONL, as `srm-node --trace` writes it.
+    let jsonl = tl.to_jsonl();
+    assert!(jsonl.contains("\"ev\":\"repair_sent\""));
+}

@@ -5,8 +5,12 @@
 use bytes::Bytes;
 use netsim::{SimDuration, SimTime};
 use proptest::prelude::*;
-use srm::wire::{Body, DataBody, Echo, Header, Message, PageRequestBody, RequestBody, SessionBody};
-use srm::{AduName, PageId, SeqNo, SourceId};
+use srm::wire::{
+    Body, DataBody, Echo, Header, Message, PageRequestBody, RecoveryInviteBody, RequestBody,
+    SessionBody,
+};
+use srm::{AduName, PageId, Parity, SeqNo, SourceId};
+use srm_transport::Envelope;
 use wb::{Color, DrawOp, OpKind, Point};
 
 fn arb_name() -> impl Strategy<Value = AduName> {
@@ -80,6 +84,34 @@ fn arb_body() -> impl Strategy<Value = Body> {
         (any::<u64>(), any::<u32>()).prop_map(|(pc, pn)| Body::PageRequest(PageRequestBody {
             page: PageId::new(SourceId(pc), pn),
         })),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..200),
+        )
+            .prop_map(|(s, pc, pn, bs, k, xor)| {
+                Body::Parity(Parity {
+                    source: SourceId(s),
+                    page: PageId::new(SourceId(pc), pn),
+                    block_start: SeqNo(bs),
+                    k,
+                    xor_len: xor.len() as u32,
+                    xor_payload: Bytes::from(xor),
+                })
+            }),
+        any::<u32>().prop_map(|g| Body::RecoveryInvite(RecoveryInviteBody { group: g })),
+        Just(Body::PageCatalogRequest),
+        prop::collection::vec((any::<u64>(), any::<u32>()), 0..20).prop_map(|pages| {
+            Body::PageCatalog(
+                pages
+                    .into_iter()
+                    .map(|(pc, pn)| PageId::new(SourceId(pc), pn))
+                    .collect(),
+            )
+        }),
     ]
 }
 
@@ -105,6 +137,56 @@ proptest! {
         let enc = m.encode();
         let cut = cut.min(enc.len());
         let _ = Message::decode(enc.slice(0..cut));
+    }
+
+    // Real sockets feed the decoder bytes a router or a buggy peer may
+    // have mangled: any single bit flip must decode cleanly (Ok or Err),
+    // never panic, and never allocate absurdly (the MAX_LIST guard).
+    #[test]
+    fn decode_never_panics_on_bitflip(
+        h in arb_header(),
+        b in arb_body(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let m = Message { header: h, body: b };
+        let mut bad = m.encode().to_vec();
+        let i = pos.index(bad.len());
+        bad[i] ^= 1 << bit;
+        let _ = Message::decode(Bytes::from(bad));
+    }
+}
+
+// The transport envelope wraps every message on a real socket; it gets the
+// same treatment as the message format it carries.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn envelope_roundtrip(
+        src in any::<u32>(),
+        group in any::<u32>(),
+        ttl in any::<u8>(),
+        initial_ttl in any::<u8>(),
+        admin in any::<bool>(),
+        flow in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let e = Envelope {
+            src,
+            group,
+            ttl,
+            initial_ttl,
+            admin_scoped: admin,
+            flow,
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(Envelope::decode(&e.encode()).expect("roundtrip"), e);
+    }
+
+    #[test]
+    fn envelope_decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Envelope::decode(&data);
     }
 }
 
