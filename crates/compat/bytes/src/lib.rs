@@ -36,7 +36,13 @@ impl Bytes {
 
     /// A buffer owning a copy of `s` (mirrors `bytes::Bytes::copy_from_slice`).
     pub fn copy_from_slice(s: &[u8]) -> Bytes {
-        Bytes::from(s.to_vec())
+        // Straight into the shared allocation — `Arc::<[u8]>::from(slice)`
+        // copies once, unlike going through an intermediate `Vec`.
+        Bytes {
+            data: std::sync::Arc::from(s),
+            start: 0,
+            end: s.len(),
+        }
     }
 
     /// Copy the contents into a fresh `Vec`.

@@ -136,6 +136,10 @@ pub struct SrmAgent {
     /// Passive meter over data/repair bytes seen (sent + received), for
     /// §III-A's "measured adaptively" session bandwidth.
     data_meter: crate::bandwidth::RateMeter,
+    /// Reused encode buffer: every outbound message is serialized here and
+    /// then copied once into its on-wire [`Bytes`], so steady-state sending
+    /// costs one allocation (the shared payload) instead of two.
+    wire_scratch: Vec<u8>,
 }
 
 impl SrmAgent {
@@ -192,6 +196,7 @@ impl SrmAgent {
             discovered_pages: Vec::new(),
             rejoining: false,
             data_meter: crate::bandwidth::RateMeter::new(SimDuration::from_secs(30)),
+            wire_scratch: Vec::new(),
             store,
             cfg,
         }
@@ -393,7 +398,11 @@ impl SrmAgent {
             },
             body,
         };
-        let payload = msg.encode();
+        // Serialize into the agent's scratch buffer (retained across
+        // sends), then copy once into the shared on-wire allocation.
+        self.wire_scratch.clear();
+        msg.encode_into(&mut self.wire_scratch);
+        let payload = Bytes::copy_from_slice(&self.wire_scratch);
         let wire_len = payload.len() as u32;
         ctx.multicast(group, payload, opts);
         wire_len
@@ -1830,8 +1839,7 @@ mod tests {
         // first REPAIR send and check at least one DATA send follows it.
         let sends: Vec<(u32, f64)> = sim
             .trace
-            .events
-            .iter()
+            .events()
             .filter_map(|e| match e {
                 netsim::TraceEvent::Send { at, node, flow, .. } if *node == NodeId(0) => {
                     Some((*flow, at.as_secs_f64()))
@@ -1920,8 +1928,7 @@ mod tests {
         // Deliveries are spread over time, not all at t=1.
         let times: Vec<f64> = sim
             .trace
-            .events
-            .iter()
+            .events()
             .filter_map(|e| match e {
                 netsim::TraceEvent::Deliver { at, .. } => Some(at.as_secs_f64()),
                 _ => None,

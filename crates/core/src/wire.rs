@@ -179,13 +179,61 @@ const MAX_LIST: usize = 1 << 20;
 
 impl Message {
     /// Encode to bytes.
+    ///
+    /// Allocates exactly [`Message::encoded_len`] bytes. Hot paths that
+    /// send repeatedly should prefer [`Message::encode_into`] with a
+    /// reused scratch buffer.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64 + self.payload_len());
-        put_header(&mut b, &self.header);
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Exact size of the encoding, without encoding it.
+    pub fn encoded_len(&self) -> usize {
+        const HEADER: usize = 16; // sender u64 + timestamp u64
+        const NAME: usize = 28; // source u64 + page (u64 + u32) + seq u64
+        const PAGE: usize = 12; // creator u64 + number u32
+        HEADER
+            + 1 // tag
+            + match &self.body {
+                Body::Data(d) => {
+                    NAME + 1
+                        + match d.answering {
+                            Some(_) => 9,
+                            None => 1,
+                        }
+                        + 8
+                        + 4
+                        + d.payload.len()
+                }
+                Body::Request(_) => NAME + 8,
+                Body::Session(s) => {
+                    PAGE + 4
+                        + 16 * s.state.len()
+                        + 4
+                        + 24 * s.echoes.len()
+                        + 4
+                        + 4
+                        + NAME * s.loss_fingerprint.len()
+                }
+                Body::PageRequest(_) => PAGE,
+                Body::Parity(p) => 8 + PAGE + 8 + 1 + 4 + 4 + p.xor_payload.len(),
+                Body::RecoveryInvite(_) => 4,
+                Body::PageCatalogRequest => 0,
+                Body::PageCatalog(pages) => 4 + PAGE * pages.len(),
+            }
+    }
+
+    /// Encode by appending to any [`BufMut`] (e.g. a reused `Vec<u8>`
+    /// scratch buffer cleared between sends, avoiding a fresh allocation
+    /// per message).
+    pub fn encode_into<B: BufMut>(&self, b: &mut B) {
+        put_header(b, &self.header);
         match &self.body {
             Body::Data(d) => {
                 b.put_u8(TAG_DATA);
-                put_name(&mut b, &d.name);
+                put_name(b, &d.name);
                 b.put_u8(d.is_repair as u8);
                 match d.answering {
                     Some(s) => {
@@ -200,12 +248,12 @@ impl Message {
             }
             Body::Request(r) => {
                 b.put_u8(TAG_REQUEST);
-                put_name(&mut b, &r.name);
+                put_name(b, &r.name);
                 b.put_f64(r.dist_to_source);
             }
             Body::Session(s) => {
                 b.put_u8(TAG_SESSION);
-                put_page(&mut b, &s.page);
+                put_page(b, &s.page);
                 b.put_u32(s.state.len() as u32);
                 for (src, seq) in &s.state {
                     b.put_u64(src.0);
@@ -220,17 +268,17 @@ impl Message {
                 b.put_f32(s.loss_rate);
                 b.put_u32(s.loss_fingerprint.len() as u32);
                 for n in &s.loss_fingerprint {
-                    put_name(&mut b, n);
+                    put_name(b, n);
                 }
             }
             Body::PageRequest(p) => {
                 b.put_u8(TAG_PAGE_REQUEST);
-                put_page(&mut b, &p.page);
+                put_page(b, &p.page);
             }
             Body::Parity(p) => {
                 b.put_u8(TAG_PARITY);
                 b.put_u64(p.source.0);
-                put_page(&mut b, &p.page);
+                put_page(b, &p.page);
                 b.put_u64(p.block_start.0);
                 b.put_u8(p.k);
                 b.put_u32(p.xor_len);
@@ -248,11 +296,10 @@ impl Message {
                 b.put_u8(TAG_PAGE_CATALOG);
                 b.put_u32(pages.len() as u32);
                 for p in pages {
-                    put_page(&mut b, p);
+                    put_page(b, p);
                 }
             }
         }
-        b.freeze()
     }
 
     /// Decode from bytes.
@@ -361,17 +408,9 @@ impl Message {
         Ok(Message { header, body })
     }
 
-    fn payload_len(&self) -> usize {
-        match &self.body {
-            Body::Data(d) => d.payload.len(),
-            Body::Session(s) => 24 * (s.state.len() + s.echoes.len()),
-            Body::Parity(p) => p.xor_payload.len(),
-            _ => 0,
-        }
-    }
 }
 
-fn put_header(b: &mut BytesMut, h: &Header) {
+fn put_header<B: BufMut>(b: &mut B, h: &Header) {
     b.put_u64(h.sender.0);
     b.put_u64(h.timestamp.as_nanos());
 }
@@ -383,7 +422,7 @@ fn get_header(buf: &mut Bytes) -> Result<Header, WireError> {
     })
 }
 
-fn put_name(b: &mut BytesMut, n: &AduName) {
+fn put_name<B: BufMut>(b: &mut B, n: &AduName) {
     b.put_u64(n.source.0);
     put_page(b, &n.page);
     b.put_u64(n.seq.0);
@@ -397,7 +436,7 @@ fn get_name(buf: &mut Bytes) -> Result<AduName, WireError> {
     })
 }
 
-fn put_page(b: &mut BytesMut, p: &PageId) {
+fn put_page<B: BufMut>(b: &mut B, p: &PageId) {
     b.put_u64(p.creator.0);
     b.put_u32(p.number);
 }
@@ -451,6 +490,15 @@ mod tests {
 
     fn roundtrip(m: &Message) {
         let enc = m.encode();
+        assert_eq!(
+            enc.len(),
+            m.encoded_len(),
+            "encoded_len must be exact for {m:?}"
+        );
+        // Encoding into a plain Vec scratch buffer yields the same bytes.
+        let mut scratch = Vec::new();
+        m.encode_into(&mut scratch);
+        assert_eq!(&scratch[..], &enc[..]);
         let dec = Message::decode(enc).expect("decode");
         assert_eq!(&dec, m);
     }

@@ -23,6 +23,15 @@ pub trait ChannelEffects {
     /// varies per copy/packet).
     fn jitter(&mut self, now: SimTime, link: LinkId, from: NodeId, to: NodeId, pkt: &Packet)
         -> SimDuration;
+
+    /// True iff this model always yields one copy with zero jitter *and*
+    /// consumes no randomness, so the simulator may skip both calls per
+    /// crossing without perturbing any RNG stream. Only models for which
+    /// both properties hold by construction (e.g. [`Ideal`]) may return
+    /// `true`.
+    fn is_ideal(&self) -> bool {
+        false
+    }
 }
 
 /// The default: one copy, no jitter.
@@ -35,6 +44,9 @@ impl ChannelEffects for Ideal {
     }
     fn jitter(&mut self, _: SimTime, _: LinkId, _: NodeId, _: NodeId, _: &Packet) -> SimDuration {
         SimDuration::ZERO
+    }
+    fn is_ideal(&self) -> bool {
+        true
     }
 }
 
@@ -82,22 +94,24 @@ impl ChannelEffects for RandomEffects {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{flow, GroupId, PacketId};
+    use crate::packet::{flow, GroupId, PacketBody, PacketId};
     use bytes::Bytes;
 
     fn pkt() -> Packet {
-        Packet {
-            id: PacketId(0),
-            src: NodeId(0),
-            group: GroupId(0),
-            dest: None,
-            ttl: 10,
-            initial_ttl: 10,
-            admin_scoped: false,
-            flow: flow::DATA,
-            size: 1,
-            payload: Bytes::new(),
-        }
+        Packet::new(
+            10,
+            PacketBody {
+                id: PacketId(0),
+                src: NodeId(0),
+                group: GroupId(0),
+                dest: None,
+                initial_ttl: 10,
+                admin_scoped: false,
+                flow: flow::DATA,
+                size: 1,
+                payload: Bytes::new(),
+            },
+        )
     }
 
     #[test]
@@ -110,6 +124,8 @@ mod tests {
         assert!(e
             .jitter(SimTime::ZERO, LinkId(0), NodeId(0), NodeId(1), &pkt())
             .is_zero());
+        assert!(e.is_ideal());
+        assert!(!RandomEffects::new(0.1, SimDuration::ZERO, 1).is_ideal());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod topology;
 pub use effects::{ChannelEffects, Ideal, RandomEffects};
 pub use event::TimerId;
 pub use faults::{partition_cut, FaultEvent, FaultPlan, NodeClock};
-pub use packet::{flow, GroupId, Packet, PacketId, SendOptions, TTL_GLOBAL};
+pub use packet::{flow, GroupId, Packet, PacketBody, PacketId, SendOptions, TTL_GLOBAL};
 pub use routing::SpTree;
 pub use sim::{Application, Ctx, Simulator};
 pub use stats::{Stats, Trace, TraceEvent};

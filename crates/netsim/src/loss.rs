@@ -23,6 +23,15 @@ pub trait LossModel {
         to: NodeId,
         pkt: &Packet,
     ) -> bool;
+
+    /// True iff this model never drops anything *and* consumes no
+    /// randomness, so the simulator may skip [`LossModel::should_drop`]
+    /// entirely without perturbing any RNG stream. Only models for which
+    /// both properties hold by construction (e.g. [`NoLoss`]) may return
+    /// `true`.
+    fn is_transparent(&self) -> bool {
+        false
+    }
 }
 
 /// Never drops anything.
@@ -32,6 +41,10 @@ pub struct NoLoss;
 impl LossModel for NoLoss {
     fn should_drop(&mut self, _: SimTime, _: LinkId, _: NodeId, _: NodeId, _: &Packet) -> bool {
         false
+    }
+
+    fn is_transparent(&self) -> bool {
+        true
     }
 }
 
@@ -213,22 +226,33 @@ impl LossModel for Composite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{flow, GroupId, PacketId};
+    use crate::packet::{flow, GroupId, PacketBody, PacketId};
     use bytes::Bytes;
 
     fn pkt(src: u32, fl: u32) -> Packet {
-        Packet {
-            id: PacketId(0),
-            src: NodeId(src),
-            group: GroupId(0),
-            dest: None,
-            ttl: 255,
-            initial_ttl: 255,
-            admin_scoped: false,
-            flow: fl,
-            size: 10,
-            payload: Bytes::new(),
-        }
+        Packet::new(
+            255,
+            PacketBody {
+                id: PacketId(0),
+                src: NodeId(src),
+                group: GroupId(0),
+                dest: None,
+                initial_ttl: 255,
+                admin_scoped: false,
+                flow: fl,
+                size: 10,
+                payload: Bytes::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn only_no_loss_is_transparent() {
+        assert!(NoLoss.is_transparent());
+        assert!(!OneShotLinkDrop::new(LinkId(0), NodeId(0), flow::DATA).is_transparent());
+        assert!(!BernoulliLoss::everywhere(0.1, 1).is_transparent());
+        assert!(!ScriptedDrop::default().is_transparent());
+        assert!(!Composite(vec![Box::new(NoLoss)]).is_transparent());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 
 use crate::topology::NodeId;
 use bytes::Bytes;
+use std::ops::Deref;
+use std::rc::Rc;
 
 /// Multicast group address.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -39,9 +41,16 @@ pub struct PacketId(pub u64);
 /// Unlimited scope / default TTL for a global multicast.
 pub const TTL_GLOBAL: u8 = 255;
 
-/// A packet in flight.
-#[derive(Clone, Debug)]
-pub struct Packet {
+/// The immutable part of a packet, shared by every in-flight copy.
+///
+/// Fan-out duplicates a packet once per tree hop and once per receiver;
+/// everything except the TTL is identical across those copies, so it lives
+/// here behind one [`Rc`] and duplication clones only the handle. `Rc`
+/// (not `Arc`) is deliberate: packets never cross threads — the simulator
+/// is single-threaded and the wall-clock transport constructs and consumes
+/// its packets inside one reactor thread.
+#[derive(Debug)]
+pub struct PacketBody {
     /// Unique transmission id.
     pub id: PacketId,
     /// The node that transmitted this packet (root of its distribution tree).
@@ -52,8 +61,6 @@ pub struct Packet {
     /// [`crate::sim::Ctx::unicast`], used by the sender-based baseline
     /// protocols the paper argues against (Section II-A).
     pub dest: Option<NodeId>,
-    /// Remaining time-to-live; decremented at every hop.
-    pub ttl: u8,
     /// The TTL the packet was originally sent with (carried in the packet so
     /// receivers can compute the hop count, per Section VII-B3).
     pub initial_ttl: u8,
@@ -68,7 +75,51 @@ pub struct Packet {
     pub payload: Bytes,
 }
 
+/// A packet in flight: the per-copy mutable header (just the remaining
+/// TTL) plus a shared handle to the immutable [`PacketBody`].
+///
+/// Derefs to [`PacketBody`], so field reads (`pkt.src`, `pkt.payload`, …)
+/// look exactly like they did when `Packet` was one flat struct. Cloning
+/// is a reference-count bump plus one byte.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Remaining time-to-live; decremented at every hop.
+    pub ttl: u8,
+    body: Rc<PacketBody>,
+}
+
+impl Deref for Packet {
+    type Target = PacketBody;
+
+    #[inline]
+    fn deref(&self) -> &PacketBody {
+        &self.body
+    }
+}
+
 impl Packet {
+    /// Wrap `body` for transmission with `ttl` hops remaining.
+    pub fn new(ttl: u8, body: PacketBody) -> Packet {
+        Packet {
+            ttl,
+            body: Rc::new(body),
+        }
+    }
+
+    /// The copy placed on the next link: same body, TTL one lower.
+    #[inline]
+    pub fn forwarded(&self) -> Packet {
+        Packet {
+            ttl: self.ttl - 1,
+            body: Rc::clone(&self.body),
+        }
+    }
+
+    /// Do two packets share one body allocation? (Diagnostics/tests.)
+    pub fn shares_body(&self, other: &Packet) -> bool {
+        Rc::ptr_eq(&self.body, &other.body)
+    }
+
     /// Hops traversed so far, derived from the carried initial TTL.
     pub fn hops_traveled(&self) -> u8 {
         self.initial_ttl - self.ttl
@@ -126,21 +177,36 @@ impl SendOptions {
 mod tests {
     use super::*;
 
-    #[test]
-    fn hops_traveled() {
-        let p = Packet {
+    fn body() -> PacketBody {
+        PacketBody {
             id: PacketId(1),
             src: NodeId(0),
             group: GroupId(0),
             dest: None,
-            ttl: 250,
             initial_ttl: 255,
             admin_scoped: false,
             flow: flow::DATA,
             size: 100,
             payload: Bytes::new(),
-        };
+        }
+    }
+
+    #[test]
+    fn hops_traveled() {
+        let p = Packet::new(250, body());
         assert_eq!(p.hops_traveled(), 5);
+    }
+
+    #[test]
+    fn forwarding_shares_the_body_and_decrements_ttl() {
+        let p = Packet::new(250, body());
+        let f = p.forwarded();
+        assert_eq!(f.ttl, 249);
+        assert_eq!(f.hops_traveled(), 6);
+        assert!(p.shares_body(&f));
+        // A separately constructed packet does not share.
+        let q = Packet::new(250, body());
+        assert!(!p.shares_body(&q));
     }
 
     #[test]

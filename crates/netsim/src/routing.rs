@@ -213,7 +213,10 @@ fn nanos(n: u64) -> SimDuration {
 /// 100-round adaptive experiment on a 1000-node tree fast.
 #[derive(Clone, Debug, Default)]
 pub struct SptCache {
-    trees: std::collections::HashMap<NodeId, std::rc::Rc<SpTree>>,
+    // Indexed directly by root node id — forwarding hits this once per
+    // hop, and a Vec probe beats hashing the NodeId every time. The Vec
+    // grows to the highest root seen (node ids are dense by construction).
+    trees: Vec<Option<std::rc::Rc<SpTree>>>,
 }
 
 impl SptCache {
@@ -236,9 +239,12 @@ impl SptCache {
         root: NodeId,
         link_up: Option<&[bool]>,
     ) -> std::rc::Rc<SpTree> {
-        self.trees
-            .entry(root)
-            .or_insert_with(|| std::rc::Rc::new(SpTree::compute_masked(topo, root, link_up)))
+        let i = root.index();
+        if i >= self.trees.len() {
+            self.trees.resize(i + 1, None);
+        }
+        self.trees[i]
+            .get_or_insert_with(|| std::rc::Rc::new(SpTree::compute_masked(topo, root, link_up)))
             .clone()
     }
 

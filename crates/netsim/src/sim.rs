@@ -16,7 +16,7 @@ use crate::effects::{ChannelEffects, Ideal};
 use crate::event::{EventKind, EventQueue, TimerId};
 use crate::faults::{FaultEvent, FaultPlan, NodeClock};
 use crate::loss::{LossModel, NoLoss};
-use crate::packet::{GroupId, Packet, PacketId, SendOptions};
+use crate::packet::{GroupId, Packet, PacketBody, PacketId, SendOptions};
 use crate::routing::SptCache;
 use crate::stats::{Stats, Trace, TraceEvent};
 use crate::time::{SimDuration, SimTime};
@@ -166,9 +166,20 @@ impl Ctx<'_> {
     }
 }
 
+/// Per-(source, group) forwarding state, computed once per membership
+/// version: `member[v]` says whether node `v` is in the group (the
+/// delivery check), `reach[v]` whether the SPT subtree rooted at `v`
+/// contains a member (the DVMRP prune check). Combining both in one
+/// cached struct gives the hot path two direct `Vec` probes per hop in
+/// place of BTree lookups.
+pub(crate) struct GroupMasks {
+    pub(crate) member: Vec<bool>,
+    pub(crate) reach: Vec<bool>,
+}
+
 /// Pruned-forwarding masks keyed by (source, group), tagged with the
 /// membership version they were computed under.
-type PruneCache = HashMap<(u32, u32), (u64, Rc<Vec<bool>>)>;
+type PruneCache = HashMap<(u32, u32), (u64, Rc<GroupMasks>)>;
 
 /// The discrete-event simulator. Generic over the application type.
 pub struct Simulator<A: Application> {
@@ -178,9 +189,19 @@ pub struct Simulator<A: Application> {
     membership_version: u64,
     queue: EventQueue,
     loss: Box<dyn LossModel>,
+    /// Cached `loss.is_transparent()`: lets `cross_link` skip the virtual
+    /// drop call entirely for the default [`NoLoss`] model.
+    loss_transparent: bool,
     effects: Box<dyn ChannelEffects>,
+    /// Cached `effects.is_ideal()`: the [`Ideal`] channel needs no
+    /// copies/jitter calls per crossing.
+    effects_ideal: bool,
     spt: SptCache,
     prune_cache: PruneCache,
+    /// One-entry memo over `prune_cache`: consecutive hops of one fan-out
+    /// all resolve the same (source, group) key, so this skips even the
+    /// hash probe on the per-hop path.
+    mask_memo: Option<((u32, u32), u64, Rc<GroupMasks>)>,
     rng: StdRng,
     now: SimTime,
     next_timer: u64,
@@ -200,6 +221,9 @@ pub struct Simulator<A: Application> {
     timer_epoch: HashMap<TimerId, u64>,
     clocks: Vec<NodeClock>,
     bursts: Vec<ActiveBurst>,
+    /// Earliest `until` among `bursts` (`SimTime::MAX` when empty): expired
+    /// bursts are purged only when `now` passes this, not on every packet.
+    burst_min_until: SimTime,
     plan: Vec<(SimTime, FaultEvent)>,
     partition_cut: Vec<LinkId>,
 }
@@ -224,9 +248,12 @@ impl<A: Application> Simulator<A> {
             membership_version: 0,
             queue: EventQueue::new(),
             loss: Box::new(NoLoss),
+            loss_transparent: true,
             effects: Box::new(Ideal),
+            effects_ideal: true,
             spt: SptCache::new(),
             prune_cache: HashMap::new(),
+            mask_memo: None,
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             next_timer: 0,
@@ -243,6 +270,7 @@ impl<A: Application> Simulator<A> {
             timer_epoch: HashMap::new(),
             clocks: vec![NodeClock::default(); nodes],
             bursts: Vec::new(),
+            burst_min_until: SimTime::MAX,
             plan: Vec::new(),
             partition_cut: Vec::new(),
         }
@@ -278,11 +306,13 @@ impl<A: Application> Simulator<A> {
 
     /// Replace the loss model.
     pub fn set_loss_model(&mut self, m: Box<dyn LossModel>) {
+        self.loss_transparent = m.is_transparent();
         self.loss = m;
     }
 
     /// Replace the channel-effects model (duplication / reordering jitter).
     pub fn set_channel_effects(&mut self, e: Box<dyn ChannelEffects>) {
+        self.effects_ideal = e.is_ideal();
         self.effects = e;
     }
 
@@ -557,25 +587,29 @@ impl<A: Application> Simulator<A> {
         } else {
             opts.size
         };
-        let pkt = Packet {
-            id,
-            src: node,
-            group,
-            dest,
-            ttl: opts.ttl,
-            initial_ttl: opts.ttl,
-            admin_scoped: opts.admin_scoped,
-            flow: opts.flow,
-            size,
-            payload,
-        };
+        let pkt = Packet::new(
+            opts.ttl,
+            PacketBody {
+                id,
+                src: node,
+                group,
+                dest,
+                initial_ttl: opts.ttl,
+                admin_scoped: opts.admin_scoped,
+                flow: opts.flow,
+                size,
+                payload,
+            },
+        );
         self.stats.record_send(opts.flow);
-        self.trace.push(TraceEvent::Send {
-            at: self.now,
-            node,
-            pkt: id,
-            flow: opts.flow,
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Send {
+                at: self.now,
+                node,
+                pkt: id,
+                flow: opts.flow,
+            });
+        }
         // Enter the forwarding engine at the origin node "now".
         self.queue.schedule(
             self.now,
@@ -595,23 +629,26 @@ impl<A: Application> Simulator<A> {
         // Deliver to the local application if this node is a member of the
         // group (the origin does not loop its own packets back up).
         if node != pkt.src {
-            let is_member = self
-                .groups
-                .get(&pkt.group)
-                .is_some_and(|s| s.contains(&node));
-            if is_member && self.apps.get(node.index()).is_some_and(|a| a.is_some()) {
+            let masks = self.group_masks(pkt.src, pkt.group);
+            if masks.member[node.index()]
+                && self.apps.get(node.index()).is_some_and(|a| a.is_some())
+            {
                 self.deliver(node, &pkt);
             }
         }
         // Forward along the source-rooted shortest-path tree over the
         // currently-up links, pruned to subtrees containing members.
-        let tree = self.spt.get_masked(&self.topo, pkt.src, Some(&self.link_up));
-        let mask = self.forward_mask(pkt.src, pkt.group);
         if pkt.ttl == 0 {
             return;
         }
+        // Re-resolve after delivery: the handler may have joined or left a
+        // group, and forwarding must see the post-delivery membership (as
+        // the direct BTree lookups here always did). The memo makes this a
+        // version check when nothing changed.
+        let masks = self.group_masks(pkt.src, pkt.group);
+        let tree = self.spt.get_masked(&self.topo, pkt.src, Some(&self.link_up));
         for &(child, link) in tree.children(node) {
-            if !mask[child.index()] {
+            if !masks.reach[child.index()] {
                 continue; // pruned: no members in that subtree
             }
             self.cross_link(node, child, link, &pkt);
@@ -643,12 +680,14 @@ impl<A: Application> Simulator<A> {
             return; // crashed host: packet falls on the floor
         }
         self.stats.record_delivery(pkt.flow);
-        self.trace.push(TraceEvent::Deliver {
-            at: self.now,
-            node,
-            pkt: pkt.id,
-            flow: pkt.flow,
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Deliver {
+                at: self.now,
+                node,
+                pkt: pkt.id,
+                flow: pkt.flow,
+            });
+        }
         let p = pkt.clone();
         self.dispatch(node, |app, ctx| app.on_packet(ctx, &p));
     }
@@ -669,75 +708,131 @@ impl<A: Application> Simulator<A> {
             // A down link drops everything offered to it (the packet was
             // routed here before the failure took effect).
             self.stats.record_drop(link);
-            self.trace.push(TraceEvent::Drop {
-                at: self.now,
-                link,
-                pkt: pkt.id,
-            });
+            if self.trace.is_enabled() {
+                self.trace.push(TraceEvent::Drop {
+                    at: self.now,
+                    link,
+                    pkt: pkt.id,
+                });
+            }
             return;
         }
         // Evaluate the loss model AND every active burst unconditionally so
         // each RNG stream advances identically regardless of who drops first
-        // (same pattern as loss::Composite).
-        let mut dropped = self.loss.should_drop(self.now, link, node, next, pkt);
-        let now = self.now;
-        self.bursts.retain(|b| now < b.until);
-        for b in &mut self.bursts {
-            if (b.link.is_none() || b.link == Some(link)) && b.rng.random_bool(b.p) {
-                dropped = true;
+        // (same pattern as loss::Composite). Transparent models ([`NoLoss`])
+        // consume no randomness, so skipping the virtual call is exact.
+        let mut dropped = if self.loss_transparent {
+            false
+        } else {
+            self.loss.should_drop(self.now, link, node, next, pkt)
+        };
+        if !self.bursts.is_empty() {
+            // Expired bursts were never shown to the per-packet loop (the
+            // old code retained first), so purge exactly when one *could*
+            // have expired — `now` past the earliest deadline — instead of
+            // rescanning per packet per hop. RNG draws are unchanged: a
+            // burst's stream only ever advances while it is live.
+            let now = self.now;
+            if now >= self.burst_min_until {
+                self.bursts.retain(|b| now < b.until);
+                self.burst_min_until = self
+                    .bursts
+                    .iter()
+                    .map(|b| b.until)
+                    .min()
+                    .unwrap_or(SimTime::MAX);
+            }
+            for b in &mut self.bursts {
+                if (b.link.is_none() || b.link == Some(link)) && b.rng.random_bool(b.p) {
+                    dropped = true;
+                }
             }
         }
         if dropped {
             self.stats.record_drop(link);
-            self.trace.push(TraceEvent::Drop {
-                at: self.now,
-                link,
-                pkt: pkt.id,
-            });
+            if self.trace.is_enabled() {
+                self.trace.push(TraceEvent::Drop {
+                    at: self.now,
+                    link,
+                    pkt: pkt.id,
+                });
+            }
             return;
         }
         let delay = l.delay;
-        let copies = self.effects.copies(self.now, link, node, next, pkt).max(1);
+        // The ideal channel delivers exactly one copy with zero jitter and
+        // draws no randomness — skip both virtual calls on that fast path.
+        let copies = if self.effects_ideal {
+            1
+        } else {
+            self.effects.copies(self.now, link, node, next, pkt).max(1)
+        };
         for _ in 0..copies {
-            let jitter = self.effects.jitter(self.now, link, node, next, pkt);
+            let jitter = if self.effects_ideal {
+                SimDuration::ZERO
+            } else {
+                self.effects.jitter(self.now, link, node, next, pkt)
+            };
             let at = self.now + delay + jitter;
             self.stats.record_hop(link, pkt.flow, pkt.size);
-            self.trace.push(TraceEvent::Forward {
-                at,
-                link,
-                from: node,
-                to: next,
-                pkt: pkt.id,
-            });
-            let mut fwd = pkt.clone();
-            fwd.ttl = pkt.ttl - 1;
+            if self.trace.is_enabled() {
+                self.trace.push(TraceEvent::Forward {
+                    at,
+                    link,
+                    from: node,
+                    to: next,
+                    pkt: pkt.id,
+                });
+            }
             self.queue.schedule(
                 at,
                 EventKind::Hop {
                     node: next,
                     via: Some(link),
-                    pkt: fwd,
+                    pkt: pkt.forwarded(),
                 },
             );
         }
     }
 
-    /// `mask[v]` is true iff the subtree of the SPT rooted at `v` contains a
-    /// member of `group` — i.e. packets must be forwarded toward `v`.
-    fn forward_mask(&mut self, root: NodeId, group: GroupId) -> Rc<Vec<bool>> {
+    /// The [`GroupMasks`] for packets from `root` to `group`, computed on
+    /// first use per membership version and memoized for the common case of
+    /// many consecutive hops of the same flood.
+    fn group_masks(&mut self, root: NodeId, group: GroupId) -> Rc<GroupMasks> {
         let key = (root.0, group.0);
-        if let Some((ver, mask)) = self.prune_cache.get(&key) {
-            if *ver == self.membership_version {
-                return mask.clone();
+        let ver = self.membership_version;
+        if let Some((k, v, m)) = &self.mask_memo {
+            if *k == key && *v == ver {
+                return m.clone();
+            }
+        }
+        let masks = self.group_masks_slow(key, ver, root, group);
+        self.mask_memo = Some((key, ver, masks.clone()));
+        masks
+    }
+
+    fn group_masks_slow(
+        &mut self,
+        key: (u32, u32),
+        ver: u64,
+        root: NodeId,
+        group: GroupId,
+    ) -> Rc<GroupMasks> {
+        if let Some((v, masks)) = self.prune_cache.get(&key) {
+            if *v == ver {
+                return masks.clone();
             }
         }
         let tree = self.spt.get_masked(&self.topo, root, Some(&self.link_up));
-        let mut mask = vec![false; self.topo.num_nodes()];
+        let n = self.topo.num_nodes();
+        let mut member = vec![false; n];
+        let mut reach = vec![false; n];
         if let Some(members) = self.groups.get(&group) {
             for &m in members {
+                member[m.index()] = true;
                 let mut cur = m;
-                while !mask[cur.index()] {
-                    mask[cur.index()] = true;
+                while !reach[cur.index()] {
+                    reach[cur.index()] = true;
                     match tree.parent(cur) {
                         Some((p, _)) => cur = p,
                         None => break,
@@ -745,10 +840,9 @@ impl<A: Application> Simulator<A> {
                 }
             }
         }
-        let mask = Rc::new(mask);
-        self.prune_cache
-            .insert(key, (self.membership_version, mask.clone()));
-        mask
+        let masks = Rc::new(GroupMasks { member, reach });
+        self.prune_cache.insert(key, (ver, masks.clone()));
+        masks
     }
 
     /// Change a link's up/down state, recomputing routing on a real change.
@@ -761,15 +855,18 @@ impl<A: Application> Simulator<A> {
         // recomputed over the surviving links on next use.
         self.spt.invalidate();
         self.prune_cache.clear();
+        self.mask_memo = None;
     }
 
     /// Apply the `index`-th scripted fault (called from [`Simulator::step`]).
     fn apply_fault(&mut self, index: usize) {
         let ev = self.plan[index].1.clone();
-        self.trace.push(TraceEvent::Fault {
-            at: self.now,
-            desc: ev.to_string(),
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Fault {
+                at: self.now,
+                desc: ev.to_string(),
+            });
+        }
         match ev {
             FaultEvent::LinkDown(l) => self.set_link_state(l, false),
             FaultEvent::LinkUp(l) => self.set_link_state(l, true),
@@ -819,10 +916,12 @@ impl<A: Application> Simulator<A> {
                 let burst_seed = self
                     .seed
                     .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+                let until = self.now + duration;
+                self.burst_min_until = self.burst_min_until.min(until);
                 self.bursts.push(ActiveBurst {
                     link,
                     p,
-                    until: self.now + duration,
+                    until,
                     rng: StdRng::seed_from_u64(burst_seed),
                 });
             }

@@ -8,7 +8,7 @@
 use crate::packet::PacketId;
 use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-link counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -21,6 +21,42 @@ pub struct LinkStats {
     pub drops: u64,
 }
 
+/// Per-flow counters, incremented on the simulator's per-hop path.
+///
+/// The conventional flow classes ([`crate::packet::flow`]) are small dense
+/// integers, so those live in a fixed array probed with one index; exotic
+/// flow ids spill into a map without losing counts.
+#[derive(Clone, Debug, Default)]
+pub struct FlowCounts {
+    low: [u64; Self::LOW],
+    high: BTreeMap<u32, u64>,
+}
+
+impl FlowCounts {
+    const LOW: usize = 8;
+
+    #[inline]
+    pub(crate) fn add(&mut self, flow: u32) {
+        match self.low.get_mut(flow as usize) {
+            Some(c) => *c += 1,
+            None => *self.high.entry(flow).or_insert(0) += 1,
+        }
+    }
+
+    /// Count for one flow.
+    pub fn get(&self, flow: u32) -> u64 {
+        match self.low.get(flow as usize) {
+            Some(c) => *c,
+            None => self.high.get(&flow).copied().unwrap_or(0),
+        }
+    }
+
+    /// Sum over all flows.
+    pub fn total(&self) -> u64 {
+        self.low.iter().sum::<u64>() + self.high.values().sum::<u64>()
+    }
+}
+
 /// Aggregate simulation statistics.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
@@ -28,11 +64,11 @@ pub struct Stats {
     pub links: Vec<LinkStats>,
     /// Per-flow transmitted-packet counts (counted once per origination,
     /// not per hop).
-    pub sent_by_flow: BTreeMap<u32, u64>,
+    pub sent_by_flow: FlowCounts,
     /// Per-flow per-hop transmission counts (each link crossing counts).
-    pub hops_by_flow: BTreeMap<u32, u64>,
+    pub hops_by_flow: FlowCounts,
     /// Per-flow delivered-to-application counts.
-    pub delivered_by_flow: BTreeMap<u32, u64>,
+    pub delivered_by_flow: FlowCounts,
     /// Total events processed.
     pub events: u64,
 }
@@ -46,7 +82,7 @@ impl Stats {
     }
 
     pub(crate) fn record_send(&mut self, flow: u32) {
-        *self.sent_by_flow.entry(flow).or_insert(0) += 1;
+        self.sent_by_flow.add(flow);
     }
 
     /// Counter slot for `link`, growing the table on demand.  Fault plans
@@ -72,7 +108,7 @@ impl Stats {
         let l = self.link_mut(link);
         l.packets += 1;
         l.bytes += bytes as u64;
-        *self.hops_by_flow.entry(flow).or_insert(0) += 1;
+        self.hops_by_flow.add(flow);
     }
 
     pub(crate) fn record_drop(&mut self, link: LinkId) {
@@ -80,32 +116,32 @@ impl Stats {
     }
 
     pub(crate) fn record_delivery(&mut self, flow: u32) {
-        *self.delivered_by_flow.entry(flow).or_insert(0) += 1;
+        self.delivered_by_flow.add(flow);
     }
 
     /// Total packets originated, all flows.
     pub fn total_sent(&self) -> u64 {
-        self.sent_by_flow.values().sum()
+        self.sent_by_flow.total()
     }
 
     /// Total link crossings, all flows — the paper's "bandwidth" proxy.
     pub fn total_hops(&self) -> u64 {
-        self.hops_by_flow.values().sum()
+        self.hops_by_flow.total()
     }
 
     /// Link crossings for one flow.
     pub fn hops_for(&self, flow: u32) -> u64 {
-        self.hops_by_flow.get(&flow).copied().unwrap_or(0)
+        self.hops_by_flow.get(flow)
     }
 
     /// Packets originated for one flow.
     pub fn sent_for(&self, flow: u32) -> u64 {
-        self.sent_by_flow.get(&flow).copied().unwrap_or(0)
+        self.sent_by_flow.get(flow)
     }
 
     /// Deliveries for one flow.
     pub fn delivered_for(&self, flow: u32) -> u64 {
-        self.delivered_by_flow.get(&flow).copied().unwrap_or(0)
+        self.delivered_by_flow.get(flow)
     }
 }
 
@@ -165,18 +201,38 @@ pub enum TraceEvent {
     },
 }
 
-/// An in-memory log of [`TraceEvent`]s. Disabled by default.
+/// An in-memory log of [`TraceEvent`]s — the explicit trace *sink*.
+///
+/// Disabled by default: a disabled trace records nothing and allocates
+/// nothing, so long runs stay flat in memory. [`Trace::enable`] records
+/// everything (test/debug use); [`Trace::enable_bounded`] keeps only the
+/// most recent `cap` events in a ring, for always-on tracing of big runs.
+/// The simulator's hot path checks [`Trace::is_enabled`] before even
+/// constructing an event.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    /// Recorded events in order.
-    pub events: Vec<TraceEvent>,
+    /// Ring capacity when bounded; `None` records without limit.
+    cap: Option<usize>,
+    /// Recorded events in order (oldest first).
+    events: VecDeque<TraceEvent>,
+    /// Events discarded by a bounded ring since the last [`Trace::clear`].
+    dropped: u64,
 }
 
 impl Trace {
-    /// Start recording.
+    /// Start recording without bound (every event is kept).
     pub fn enable(&mut self) {
         self.enabled = true;
+        self.cap = None;
+    }
+
+    /// Start recording into a ring that keeps only the latest `cap`
+    /// events; older ones are discarded (and counted in
+    /// [`Trace::dropped_events`]). A `cap` of 0 records nothing.
+    pub fn enable_bounded(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = Some(cap);
     }
 
     /// Stop recording (keeps what was recorded).
@@ -184,15 +240,61 @@ impl Trace {
         self.enabled = false;
     }
 
-    /// Drop all recorded events.
+    /// Is the sink currently recording? The simulator consults this before
+    /// building an event, so a disabled trace costs one branch per
+    /// would-be record.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Drop all recorded events and reset the dropped-event counter.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.dropped = 0;
     }
 
     pub(crate) fn push(&mut self, e: TraceEvent) {
-        if self.enabled {
-            self.events.push(e);
+        if !self.enabled {
+            return;
         }
+        if let Some(cap) = self.cap {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() >= cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(e);
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of recorded (retained) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Heap slots reserved for events (0 until something is recorded —
+    /// asserted by tests that a disabled trace never grows).
+    pub fn capacity(&self) -> usize {
+        self.events.capacity()
+    }
+
+    /// Events a bounded ring has discarded since the last clear.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// Count of recorded events matching a predicate.
@@ -254,24 +356,68 @@ mod tests {
         assert_eq!(s.link(LinkId(0)).packets, 1);
     }
 
+    fn send(pkt: u64) -> TraceEvent {
+        TraceEvent::Send {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            pkt: PacketId(pkt),
+            flow: 0,
+        }
+    }
+
     #[test]
     fn trace_respects_enable() {
         let mut t = Trace::default();
-        t.push(TraceEvent::Send {
-            at: SimTime::ZERO,
-            node: NodeId(0),
-            pkt: PacketId(1),
-            flow: 0,
-        });
-        assert!(t.events.is_empty());
+        t.push(send(1));
+        assert!(t.is_empty());
         t.enable();
-        t.push(TraceEvent::Send {
-            at: SimTime::ZERO,
-            node: NodeId(0),
-            pkt: PacketId(2),
-            flow: 0,
-        });
-        assert_eq!(t.events.len(), 1);
+        t.push(send(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn disabled_trace_never_allocates() {
+        let mut t = Trace::default();
+        assert!(!t.is_enabled());
+        for i in 0..10_000 {
+            t.push(send(i));
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.capacity(), 0, "disabled sink must not grow");
+    }
+
+    #[test]
+    fn bounded_trace_keeps_only_the_tail() {
+        let mut t = Trace::default();
+        t.enable_bounded(3);
+        for i in 0..10 {
+            t.push(send(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped_events(), 7);
+        let kept: Vec<u64> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Send { pkt, .. } => pkt.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        // The ring never reserves far past its cap.
+        assert!(t.capacity() <= 8, "capacity {} exceeds ring bound", t.capacity());
+        t.clear();
+        assert_eq!(t.dropped_events(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_ring_records_nothing() {
+        let mut t = Trace::default();
+        t.enable_bounded(0);
+        t.push(send(1));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped_events(), 1);
+        assert_eq!(t.capacity(), 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub const HEADER_LEN: usize = 20;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope {
     /// Sending node (the runtime's node id, mirrored into
-    /// [`netsim::Packet::src`]).
+    /// [`netsim::PacketBody::src`]).
     pub src: u32,
     /// Destination multicast group id (the SRM session or a local-recovery
     /// group).
@@ -74,6 +74,13 @@ impl Envelope {
     /// Serialize to one datagram's bytes.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Serialize by appending to any [`BufMut`] — lets the send path reuse
+    /// one scratch buffer per socket instead of allocating per datagram.
+    pub fn encode_into<B: BufMut>(&self, b: &mut B) {
         b.put_slice(&MAGIC);
         b.put_u8(VERSION);
         b.put_u32(self.src);
@@ -83,7 +90,6 @@ impl Envelope {
         b.put_u8(self.admin_scoped as u8);
         b.put_u32(self.flow);
         b.put_slice(&self.payload);
-        b.freeze()
     }
 
     /// Parse one received datagram. The payload is *not* decoded here —

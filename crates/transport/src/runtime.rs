@@ -32,7 +32,7 @@ use crate::clock::WallClock;
 use crate::envelope::Envelope;
 use crate::wheel::TimerWheel;
 use bytes::Bytes;
-use netsim::{GroupId, NodeId, Packet, PacketId, SendOptions, SimDuration, SimTime, TimerId};
+use netsim::{GroupId, NodeId, Packet, PacketBody, PacketId, SendOptions, SimDuration, SimTime, TimerId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use srm::{AduName, Clock, Driver, PageId, SrmAgent, SrmConfig, SourceId, Transport};
@@ -193,6 +193,9 @@ struct Outbound {
     src: u32,
     loss: LossPolicy,
     counters: Arc<Counters>,
+    /// Reused datagram scratch: the envelope is serialized here for each
+    /// send, so steady-state sending allocates nothing per datagram.
+    scratch: Vec<u8>,
 }
 
 impl Outbound {
@@ -201,7 +204,8 @@ impl Outbound {
             // A zero-TTL datagram never leaves the host.
             return;
         }
-        let wire = Envelope {
+        self.scratch.clear();
+        Envelope {
             src: self.src,
             group: group.0,
             ttl: opts.ttl,
@@ -210,13 +214,14 @@ impl Outbound {
             flow: opts.flow,
             payload,
         }
-        .encode();
+        .encode_into(&mut self.scratch);
+        let wire = &self.scratch;
         match &self.mode {
             Mode::Mesh { peers } => {
                 for &p in peers {
                     if self.loss.should_drop(opts.flow, Some(p)) {
                         self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                    } else if self.socket.send_to(&wire, p).is_ok() {
+                    } else if self.socket.send_to(wire, p).is_ok() {
                         self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -226,7 +231,7 @@ impl Outbound {
                 let _ = self.socket.set_multicast_ttl_v4(u32::from(opts.ttl));
                 if self.loss.should_drop(opts.flow, None) {
                     self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                } else if self.socket.send_to(&wire, dest).is_ok() {
+                } else if self.socket.send_to(wire, dest).is_ok() {
                     self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -394,6 +399,7 @@ fn run_reactor(
         src: u32::try_from(opts.id.0).unwrap_or(u32::MAX),
         loss: opts.loss,
         counters: Arc::clone(&counters),
+        scratch: Vec::new(),
     };
 
     let mut agent = SrmAgent::new(opts.id, opts.group, opts.cfg);
@@ -441,21 +447,23 @@ fn run_reactor(
                 }
                 counters.frames_received.fetch_add(1, Ordering::Relaxed);
                 rx_seq += 1;
-                let pkt = Packet {
-                    id: PacketId(rx_seq),
-                    src: NodeId(env.src),
-                    group: GroupId(env.group),
-                    dest: None,
+                let pkt = Packet::new(
                     // One observable hop on a mesh; real multicast hop
                     // counts would need the received IP TTL, which std
                     // sockets cannot read.
-                    ttl: env.ttl.saturating_sub(1),
-                    initial_ttl: env.initial_ttl,
-                    admin_scoped: env.admin_scoped,
-                    flow: env.flow,
-                    size: buf.len() as u32,
-                    payload: env.payload.clone(),
-                };
+                    env.ttl.saturating_sub(1),
+                    PacketBody {
+                        id: PacketId(rx_seq),
+                        src: NodeId(env.src),
+                        group: GroupId(env.group),
+                        dest: None,
+                        initial_ttl: env.initial_ttl,
+                        admin_scoped: env.admin_scoped,
+                        flow: env.flow,
+                        size: buf.len() as u32,
+                        payload: env.payload.clone(),
+                    },
+                );
                 agent.drive_packet(&mut driver!(), &pkt);
             }
             Ok(Event::Exec(f)) => f(&mut agent, &mut driver!()),

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Benchmark pipeline: criterion micro-benchmarks plus the `scale`
+# macro-benchmark, distilled into BENCH_4.json at the repo root.
+#
+# Usage: scripts/bench.sh [--quick] [--skip-criterion] [--label NAME]
+#
+# BENCH_4.json carries two sections: `benches` — the fresh measurement —
+# and `baseline_pre_pr` — the pinned pre-optimisation numbers, carried
+# forward automatically from the existing file on every refresh so the
+# before/after pairing survives. CI gates regressions against the
+# committed file with `scale check` (see scripts/ci.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+SKIP_CRITERION=0
+LABEL="post-pr"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK="--quick"; shift ;;
+    --skip-criterion) SKIP_CRITERION=1; shift ;;
+    --label) LABEL="$2"; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--skip-criterion] [--label NAME]" >&2; exit 2 ;;
+  esac
+done
+
+if [ "$SKIP_CRITERION" -eq 0 ]; then
+  echo "== criterion micro-benchmarks =="
+  cargo bench -p srm-bench
+fi
+
+echo "== scale macro-benchmark =="
+cargo build --release -p srm-bench --bin scale
+MERGE=()
+if [ -f BENCH_4.json ]; then
+  MERGE=(--merge-baseline BENCH_4.json)
+fi
+./target/release/scale run $QUICK "${MERGE[@]}" --label "$LABEL" --out BENCH_4.json
+echo "bench: wrote BENCH_4.json"

@@ -26,6 +26,18 @@ cargo test -q --test transport_loopback
 echo "== golden trace (observability JSONL pins) =="
 cargo test -q --test golden_trace
 
+echo "== bench (criterion targets compile) =="
+cargo bench --no-run -p srm-bench -q
+
+echo "== bench smoke (scale quick run + report validation) =="
+cargo build --release -p srm-bench --bin scale
+./target/release/scale run --quick --label ci-smoke --out target/bench_smoke.json
+./target/release/scale validate target/bench_smoke.json
+./target/release/scale validate BENCH_4.json
+
+echo "== bench regression gate (best-of-5 re-measure vs committed BENCH_4.json) =="
+./target/release/scale check --against BENCH_4.json --tolerance 1.25
+
 echo "== clippy (workspace, warnings are errors) =="
 cargo clippy --workspace -- -D warnings
 

@@ -119,8 +119,7 @@ fn jitter_reordering_does_not_break_adu_delivery() {
     // The jitter really reordered deliveries at node 1…
     let arrivals: Vec<u64> = sim
         .trace
-        .events
-        .iter()
+        .events()
         .filter_map(|e| match e {
             TraceEvent::Deliver { node, pkt, .. } if *node == NodeId(1) => Some(pkt.0),
             _ => None,

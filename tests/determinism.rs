@@ -71,7 +71,7 @@ fn trace_replays_identically() {
         let mut s = spec(11, Some(5)).build();
         s.sim.trace.enable();
         run_round(&mut s, 100_000.0);
-        format!("{:?}", s.sim.trace.events)
+        format!("{:?}", s.sim.trace.events().collect::<Vec<_>>())
     };
     assert_eq!(run(), run());
 }

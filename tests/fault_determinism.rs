@@ -68,7 +68,11 @@ fn fingerprint(seed: u64, with_faults: bool) -> String {
             )
         })
         .collect();
-    format!("{:?}\n{}", s.sim.trace.events, metrics.join("\n"))
+    format!(
+        "{:?}\n{}",
+        s.sim.trace.events().collect::<Vec<_>>(),
+        metrics.join("\n")
+    )
 }
 
 #[test]

@@ -82,8 +82,7 @@ fn ttl_scoped_two_step_repairs_stay_local() {
     let l01 = sim.topology().link_between(NodeId(0), NodeId(1)).unwrap();
     let recovery_on_l01 = sim
         .trace
-        .events
-        .iter()
+        .events()
         .filter(|e| match e {
             netsim::TraceEvent::Forward { link, .. } => *link == l01,
             _ => false,
@@ -172,8 +171,7 @@ fn admin_scoped_recovery_and_fallback() {
     let l45 = sim.topology().link_between(NodeId(4), NodeId(5)).unwrap();
     let crossings = sim
         .trace
-        .events
-        .iter()
+        .events()
         .filter(|e| matches!(e, netsim::TraceEvent::Forward { link, .. } if *link == l45))
         .count();
     assert_eq!(crossings, 2, "only the two data packets crossed zones");
@@ -245,8 +243,7 @@ fn recovery_group_confines_later_rounds() {
     let l01 = sim.topology().link_between(NodeId(0), NodeId(1)).unwrap();
     let head_crossings = sim
         .trace
-        .events
-        .iter()
+        .events()
         .filter(|e| matches!(e, netsim::TraceEvent::Forward { link, .. } if *link == l01))
         .count();
     // 4 data packets, plus the first two losses' global rounds (the group

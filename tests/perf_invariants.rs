@@ -1,0 +1,124 @@
+//! Guard rails for the hot-path overhaul: the zero-copy packet fan-out and
+//! lazy tracing must be pure refactorings. These tests pin the observable
+//! behaviour of a paper-scale run to exact values and check the sharing
+//! invariants of the new [`netsim::Packet`] representation by property.
+
+use bytes::Bytes;
+use netsim::{Packet, PacketBody};
+use proptest::prelude::*;
+use srm::SrmConfig;
+use srm_experiments::fig4;
+use srm_experiments::round::run_round;
+
+/// FNV-1a over a byte string — stable, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The full observable outcome of a seeded 1000-node Fig-4 recovery round,
+/// reduced to one u64: every trace event plus the aggregate counters.
+fn fig4_round_hash() -> u64 {
+    let mut s = fig4::spec(50, 1, SrmConfig::fixed(50)).build();
+    s.sim.trace.enable();
+    let r = run_round(&mut s, 100_000.0);
+    assert!(r.all_recovered, "the pinned round must recover");
+    let mut blob = String::new();
+    for e in s.sim.trace.events() {
+        blob.push_str(&format!("{e:?}\n"));
+    }
+    blob.push_str(&format!(
+        "sent={} hops={} delivered_data={} events={} requests={} repairs={}",
+        s.sim.stats.total_sent(),
+        s.sim.stats.total_hops(),
+        s.sim.stats.delivered_for(netsim::flow::DATA),
+        s.sim.stats.events,
+        r.requests,
+        r.repairs,
+    ));
+    fnv1a(blob.as_bytes())
+}
+
+/// The seeded 1000-node run is bit-identical run-to-run *and* across the
+/// zero-copy/lazy-trace refactor: this constant was pinned against the
+/// pre-refactor simulator (whose behaviour the golden traces also freeze),
+/// so any RNG-stream or event-order drift in the hot path fails here.
+#[test]
+fn pinned_1000_node_determinism_hash() {
+    let h = fig4_round_hash();
+    assert_eq!(
+        h, PINNED_FIG4_ROUND_HASH,
+        "1000-node round drifted: got {h:#018x}, pinned {PINNED_FIG4_ROUND_HASH:#018x} \
+         (a deliberate semantic change must re-pin this constant alongside \
+         the golden traces)"
+    );
+}
+
+const PINNED_FIG4_ROUND_HASH: u64 = 0x7f18_3f7b_0428_9f6d;
+
+/// Tracing stays strictly opt-in: a paper-scale run with the sink disabled
+/// records nothing and never allocates event storage.
+#[test]
+fn disabled_trace_does_not_grow_at_scale() {
+    let mut s = fig4::spec(50, 1, SrmConfig::fixed(50)).build();
+    assert!(!s.sim.trace.is_enabled());
+    let r = run_round(&mut s, 100_000.0);
+    assert!(r.all_recovered);
+    assert_eq!(s.sim.trace.len(), 0, "disabled sink recorded events");
+    assert_eq!(s.sim.trace.capacity(), 0, "disabled sink allocated storage");
+}
+
+fn body(ttl: u8, payload: Vec<u8>) -> Packet {
+    Packet::new(
+        ttl,
+        PacketBody {
+            id: netsim::PacketId(7),
+            src: netsim::NodeId(0),
+            group: netsim::GroupId(1),
+            dest: None,
+            initial_ttl: ttl,
+            admin_scoped: false,
+            flow: netsim::flow::DATA,
+            size: payload.len() as u32 + 16,
+            payload: Bytes::from(payload),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fan-out copies share one body but never alias the mutable header:
+    /// decrementing one copy's TTL must be invisible to every other copy
+    /// and to the shared immutable fields.
+    #[test]
+    fn shared_payload_never_aliases_mutable_header(
+        ttl in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        hops in 1usize..8,
+    ) {
+        // The simulator never forwards a TTL-0 packet (it early-returns),
+        // so the chain respects that precondition.
+        let hops = hops.min(ttl as usize);
+        let original = body(ttl, payload.clone());
+        let mut copies = vec![original.clone()];
+        for _ in 0..hops {
+            let next = copies.last().unwrap().forwarded();
+            copies.push(next);
+        }
+        for (i, c) in copies.iter().enumerate() {
+            // Every copy shares the one body allocation…
+            prop_assert!(c.shares_body(&original));
+            // …with the per-copy TTL tracking its own hop count…
+            prop_assert_eq!(c.ttl, ttl - i as u8);
+            // …and the shared fields untouched by any sibling's decrement.
+            prop_assert_eq!(c.initial_ttl, ttl);
+            prop_assert_eq!(&c.payload[..], &payload[..]);
+        }
+        prop_assert_eq!(original.ttl, ttl, "forwarding mutated the original header");
+    }
+}
