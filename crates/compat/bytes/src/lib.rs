@@ -305,6 +305,13 @@ pub trait Buf {
         b[0]
     }
 
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
     /// Read a big-endian `u32`.
     fn get_u32(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -382,6 +389,11 @@ pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
     }
 
     /// Append a big-endian `u32`.

@@ -106,6 +106,13 @@ pub struct SrmAgent {
     /// Recovery-episode event recorder (disabled by default; recording
     /// never touches the protocol's RNG or timers).
     pub obs: obs::Recorder,
+    /// Transport-layer event log (chaos actions, supervision, liveness
+    /// transitions).  Kept separate from the ADU-keyed recorder so
+    /// golden-trace pins stay byte-identical; disabled by default.
+    pub transport_obs: obs::TransportLog,
+    /// Session-silence peer liveness tracker (§III-A heartbeat reading).
+    /// Disabled by default; the wall-clock transport enables it.
+    pub liveness: crate::liveness::PeerLiveness,
     /// Two-step local-recovery relays performed.
     pub two_step_relays: u64,
     /// The local-recovery group this member belongs to (Section VII-B2).
@@ -183,6 +190,8 @@ impl SrmAgent {
             delivered: Vec::new(),
             metrics: AgentMetrics::default(),
             obs: obs::Recorder::new(),
+            transport_obs: obs::TransportLog::new(),
+            liveness: crate::liveness::PeerLiveness::new(),
             two_step_relays: 0,
             recovery_group: None,
             invite_timer: None,
@@ -1280,6 +1289,17 @@ impl SrmAgent {
         }
     }
 
+    /// Record a liveness transition as a typed transport event.
+    fn record_liveness(&mut self, at: SimTime, tr: crate::liveness::Transition) {
+        use crate::liveness::PeerState;
+        let kind = match tr.to {
+            PeerState::Alive => obs::TransportEventKind::PeerAlive { peer: tr.peer.0 },
+            PeerState::Suspect => obs::TransportEventKind::PeerSuspect { peer: tr.peer.0 },
+            PeerState::Dead => obs::TransportEventKind::PeerDead { peer: tr.peer.0 },
+        };
+        self.transport_obs.record(at, kind);
+    }
+
     /// The member's host crashed: full protocol state loss.
     ///
     /// Rebuilds from scratch, carrying over only the
@@ -1290,11 +1310,15 @@ impl SrmAgent {
         metrics.drop_inflight();
         metrics.crashes += 1;
         let obs = std::mem::take(&mut self.obs);
+        let transport_obs = std::mem::take(&mut self.transport_obs);
+        let liveness = std::mem::take(&mut self.liveness);
         let session_enabled = self.session_enabled;
         *self = SrmAgent::new(self.id, self.group, self.cfg.clone());
         self.session_enabled = session_enabled;
         self.metrics = metrics;
         self.obs = obs;
+        self.transport_obs = transport_obs;
+        self.liveness = liveness;
     }
 
     /// The member's host came back up after a crash.
@@ -1326,6 +1350,9 @@ impl SrmAgent {
         }
         self.est
             .note_timestamp(msg.header.sender, msg.header.timestamp, ctx.local_now());
+        if let Some(tr) = self.liveness.note_heard(msg.header.sender, ctx.now()) {
+            self.record_liveness(ctx.now(), tr);
+        }
         let hdr = msg.header;
         match msg.body {
             Body::Data(d) => self.handle_data(ctx, pkt, &hdr, d),
@@ -1348,6 +1375,14 @@ impl SrmAgent {
             Purpose::Request(name) => self.request_timer_fired(ctx, name),
             Purpose::Repair(name) => self.repair_timer_fired(ctx, name),
             Purpose::Session => {
+                if self.liveness.is_enabled() {
+                    let interval = self
+                        .scheduler
+                        .nominal_interval(self.est.peer_count() + 1);
+                    for tr in self.liveness.sweep(ctx.now(), interval) {
+                        self.record_liveness(ctx.now(), tr);
+                    }
+                }
                 self.emit_session(ctx, self.current_page);
                 self.schedule_session(ctx);
             }

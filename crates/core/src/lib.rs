@@ -72,6 +72,7 @@ pub mod config;
 pub mod driver;
 pub mod fec;
 pub mod hierarchy;
+pub mod liveness;
 pub mod local;
 pub mod metrics;
 pub mod name;
@@ -90,6 +91,7 @@ pub use clock::DistanceEstimator;
 pub use driver::{Clock, Driver, Transport};
 pub use fec::{FecConfig, Parity};
 pub use hierarchy::{HierarchyConfig, HierarchyState, SessionScope};
+pub use liveness::{LivenessConfig, PeerLiveness, PeerState};
 pub use config::{AdaptiveConfig, RateLimit, RecoveryScope, SrmConfig, TimerParams};
 pub use metrics::{AgentMetrics, FaultEpisode, RecoveryRecord, RepairRecord};
 pub use name::{AduName, PageId, SeqNo, SourceId};

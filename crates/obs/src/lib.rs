@@ -37,6 +37,7 @@ pub mod recorder;
 pub mod stats;
 pub mod summary;
 pub mod timeline;
+pub mod transport;
 
 pub use event::{AduKey, EventKind, FaultSpan, RecordedEvent, RecoveryVia};
 pub use hist::LogHistogram;
@@ -44,3 +45,4 @@ pub use recorder::Recorder;
 pub use stats::{summarize, Summary};
 pub use summary::{MemberSummary, RunSummary};
 pub use timeline::{Chain, MemberEvent, Timeline};
+pub use transport::{TransportEventKind, TransportLog, TransportRecord, TransportSummary};

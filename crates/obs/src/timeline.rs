@@ -15,6 +15,7 @@ use std::fmt::Write as _;
 use netsim::SimTime;
 
 use crate::event::{fmt_time, AduKey, EventKind, FaultSpan, RecordedEvent};
+use crate::transport::TransportRecord;
 
 /// A member-attributed event inside a timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,19 +126,26 @@ enum Line<'a> {
     FaultStart(&'a FaultSpan),
     FaultEnd(&'a FaultSpan),
     Event(&'a MemberEvent),
+    Transport(u64, &'a TransportRecord),
 }
 
 impl Line<'_> {
-    fn sort_key(&self) -> (u64, u8, u64, u64) {
+    /// `(time, lane, member, seq, sub)` — `sub` puts a member's transport
+    /// records just after its same-instant recovery events, so timelines
+    /// without transport records keep the exact pre-existing order (the
+    /// golden-trace property).
+    fn sort_key(&self) -> (u64, u8, u64, u64, u8) {
         match self {
-            Line::FaultStart(f) => (f.start.as_nanos(), lane(true, false), 0, 0),
+            Line::FaultStart(f) => (f.start.as_nanos(), lane(true, false), 0, 0, 0),
             Line::FaultEnd(f) => (
                 f.end.expect("only closed spans emit ends").as_nanos(),
                 lane(false, true),
                 0,
                 0,
+                0,
             ),
-            Line::Event(e) => (e.at.as_nanos(), lane(false, false), e.member, e.seq),
+            Line::Event(e) => (e.at.as_nanos(), lane(false, false), e.member, e.seq, 0),
+            Line::Transport(m, r) => (r.at.as_nanos(), lane(false, false), *m, r.seq, 1),
         }
     }
 }
@@ -147,6 +155,7 @@ impl Line<'_> {
 pub struct Timeline {
     events: Vec<MemberEvent>,
     faults: Vec<FaultSpan>,
+    transport: Vec<(u64, TransportRecord)>,
 }
 
 impl Timeline {
@@ -169,6 +178,19 @@ impl Timeline {
     /// Add a fault window.
     pub fn add_fault(&mut self, span: FaultSpan) {
         self.faults.push(span);
+    }
+
+    /// Add one member's drained transport event stream (chaos actions,
+    /// supervision, liveness transitions).
+    pub fn add_transport(&mut self, member: u64, events: Vec<TransportRecord>) {
+        self.transport.extend(events.into_iter().map(|r| (member, r)));
+    }
+
+    /// All transport records in deterministic `(time, member, seq)` order.
+    pub fn transport_events(&self) -> Vec<(u64, TransportRecord)> {
+        let mut v = self.transport.clone();
+        v.sort_by_key(|(m, r)| (r.at.as_nanos(), *m, r.seq));
+        v
     }
 
     /// All member events in deterministic `(time, member, seq)` order.
@@ -218,7 +240,15 @@ impl Timeline {
             .filter(|e| fault.is_none() || windows.iter().any(|w| w.contains(e.at)))
             .copied()
             .collect();
-        Timeline { events, faults: windows.into_iter().cloned().collect() }
+        let transport = self
+            .transport
+            .iter()
+            .filter(|(m, _)| member.is_none_or(|want| *m == want))
+            .filter(|(_, r)| fault.is_none() || windows.iter().any(|w| w.contains(r.at)))
+            .filter(|_| adu.is_none()) // transport records are not ADU-keyed
+            .cloned()
+            .collect();
+        Timeline { events, faults: windows.into_iter().cloned().collect(), transport }
     }
 
     /// Group events into episode spans keyed by `(member, adu)`, each span's
@@ -305,7 +335,9 @@ impl Timeline {
     /// order described in the module docs.
     pub fn to_jsonl(&self) -> String {
         let events = self.events();
-        let mut lines: Vec<Line<'_>> = Vec::with_capacity(events.len() + 2 * self.faults.len());
+        let mut lines: Vec<Line<'_>> = Vec::with_capacity(
+            events.len() + 2 * self.faults.len() + self.transport.len(),
+        );
         for f in &self.faults {
             lines.push(Line::FaultStart(f));
             if f.end.is_some() {
@@ -314,6 +346,9 @@ impl Timeline {
         }
         for e in &events {
             lines.push(Line::Event(e));
+        }
+        for (m, r) in &self.transport {
+            lines.push(Line::Transport(*m, r));
         }
         lines.sort_by_key(Line::sort_key);
 
@@ -372,6 +407,17 @@ impl Timeline {
                     }
                     out.push_str("}\n");
                 }
+                Line::Transport(m, r) => {
+                    let _ = write!(
+                        out,
+                        "{{\"t\":{},\"member\":{},\"ev\":\"{}\"",
+                        fmt_time(r.at),
+                        m,
+                        r.kind.name(),
+                    );
+                    r.kind.write_json_fields(&mut out);
+                    out.push_str("}\n");
+                }
             }
         }
         out
@@ -379,7 +425,7 @@ impl Timeline {
 }
 
 /// Minimal JSON string escaping (labels are plain ASCII in practice).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
@@ -486,6 +532,38 @@ mod tests {
         assert_eq!(c.recovered_members, 2);
         assert_eq!(c.recovered_at, Some(SimTime::from_nanos(410)));
         assert!(c.render().contains("[complete]"));
+    }
+
+    #[test]
+    fn transport_lines_merge_after_same_instant_member_events() {
+        use crate::transport::{TransportEventKind, TransportRecord};
+        let mut tl = Timeline::new();
+        tl.add_member(1, vec![ev(10, 0, EventKind::GapDetected, 0)]);
+        tl.add_transport(
+            1,
+            vec![
+                TransportRecord {
+                    at: SimTime::from_nanos(10),
+                    kind: TransportEventKind::ChaosDrop { flow: 0 },
+                    seq: 0,
+                },
+                TransportRecord {
+                    at: SimTime::from_nanos(5),
+                    kind: TransportEventKind::PeerSuspect { peer: 2 },
+                    seq: 1,
+                },
+            ],
+        );
+        let jsonl = tl.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ev\":\"peer_suspect\""), "{jsonl}");
+        assert!(lines[1].contains("\"ev\":\"gap_detected\""));
+        assert!(lines[2].contains("\"ev\":\"chaos_drop\""));
+        assert!(lines[2].contains("\"flow\":0"));
+        // Member filter applies to transport lines too.
+        assert_eq!(tl.filter(Some(2), None, None).transport_events().len(), 0);
+        assert_eq!(tl.filter(Some(1), None, None).transport_events().len(), 2);
     }
 
     #[test]

@@ -4,16 +4,23 @@
 //! srm-node join --id 2 --bind 127.0.0.1:7402 --peers 127.0.0.1:7401,127.0.0.1:7403
 //! srm-node send --id 1 --bind 127.0.0.1:7401 --peers ... --text "draw a blue line"
 //! srm-node join --id 3 --bind 0.0.0.0:7400 --mcast 239.66.66.0:7400
+//! srm-node soak --nodes 4 --secs 6 --chaos "loss=0.15,burst=0.9@1s+2s"
 //! ```
 //!
 //! `join` participates (receives, answers requests, repairs); `send`
 //! additionally multicasts each `--text` as one ADU. Both run for
 //! `--duration` seconds, print delivered ADUs, and with `--trace FILE`
-//! write the node's obs recovery timeline as JSONL on exit.
+//! write the node's obs timeline as JSONL on exit. `--chaos SPEC` applies
+//! a scripted chaos plan to the node's send path.
+//!
+//! `soak` runs the whole chaos-soak harness in-process: a 3–5 node
+//! loopback mesh under a scripted chaos plan, asserting eventual delivery
+//! after heal, zero reactor deaths, bounded queue growth, and full frame
+//! accounting. Exit status 1 means an invariant was violated.
 
 use bytes::Bytes;
 use netsim::GroupId;
-use srm_transport::{Mode, Node, NodeOptions};
+use srm_transport::{Mode, Node, NodeOptions, SoakOptions};
 use srm::{PageId, SourceId, SrmConfig};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -21,10 +28,13 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "\
 usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
                 [--group N] [--members N] [--text STRING]... [--duration SECS]
-                [--trace FILE] [--seed N] [--quiet]
+                [--trace FILE] [--seed N] [--chaos SPEC] [--quiet]
+       srm-node soak [--nodes N] [--secs F] [--adus N] [--chaos SPEC]
+                [--seed N] [--settle F] [--trace FILE]
 
   join        participate in the session (receive, request, repair)
   send        also multicast each --text as one ADU
+  soak        run an in-process multi-node chaos soak and report invariants
   --id N      this member's source id (unique small integer, required)
   --bind A    local socket address, e.g. 127.0.0.1:7401 (required)
   --peers L   comma-separated peer addresses: loopback/unicast mesh mode
@@ -32,11 +42,19 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
   --group N   SRM group id (default 1)
   --members N expected session size, sets timer constants (default 3)
   --duration  seconds to stay in the session (default 10)
-  --trace F   write this node's obs timeline to F as JSONL on exit
-  --seed N    timer RNG seed (default derived from --id)
+  --trace F   write the obs timeline to F as JSONL on exit
+  --seed N    timer + chaos RNG seed (default derived from --id)
   --drop-data N  force-drop this node's Nth outgoing DATA frame (0-based),
               to demo loss recovery on a clean network
-  --quiet     do not print delivered ADUs";
+  --chaos S   scripted chaos spec, e.g.
+              loss=0.1,dup=0.05,reorder=0.2:40ms,burst=0.9@1s+2s,blackhole=2@1s+3s
+              (blackhole peer indexes are 1-based into --peers)
+  --quiet     do not print delivered ADUs
+  soak only:
+  --nodes N   mesh size (default 3)
+  --secs F    scripted phase seconds (default 6)
+  --adus N    ADUs each member publishes (default 4)
+  --settle F  post-heal recovery budget in seconds (default 30)";
 
 struct Args {
     send_mode: bool,
@@ -50,6 +68,7 @@ struct Args {
     trace: Option<String>,
     seed: Option<u64>,
     drop_data: Option<u64>,
+    chaos: Option<String>,
     quiet: bool,
 }
 
@@ -65,6 +84,7 @@ fn parse_args() -> Args {
     let send_mode = match cmd.as_str() {
         "join" => false,
         "send" => true,
+        "soak" => run_soak(argv),
         "-h" | "--help" => {
             println!("{USAGE}");
             std::process::exit(0);
@@ -82,6 +102,7 @@ fn parse_args() -> Args {
     let mut trace = None;
     let mut seed = None;
     let mut drop_data = None;
+    let mut chaos = None;
     let mut quiet = false;
 
     let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -148,6 +169,7 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| die("--drop-data must be an integer")),
                 )
             }
+            "--chaos" => chaos = Some(next(&mut argv, "--chaos")),
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -180,8 +202,90 @@ fn parse_args() -> Args {
         trace,
         seed,
         drop_data,
+        chaos,
         quiet,
     }
+}
+
+/// Parse the `soak` subcommand's flags, run the harness, print the report,
+/// and exit (status 1 on any invariant violation).
+fn run_soak(mut argv: impl Iterator<Item = String>) -> ! {
+    let mut opts = SoakOptions::default();
+    let mut trace_path: Option<String> = None;
+    let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        argv.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--nodes" => {
+                opts.nodes = next(&mut argv, "--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| die("--nodes must be an integer"));
+                if !(2..=16).contains(&opts.nodes) {
+                    die("--nodes must be in 2..=16");
+                }
+            }
+            "--secs" => {
+                let secs: f64 = next(&mut argv, "--secs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--secs must be seconds"));
+                opts.duration = Duration::from_secs_f64(secs.max(0.1));
+            }
+            "--adus" => {
+                opts.adus_per_node = next(&mut argv, "--adus")
+                    .parse()
+                    .unwrap_or_else(|_| die("--adus must be an integer"));
+            }
+            "--chaos" => opts.chaos = next(&mut argv, "--chaos"),
+            "--seed" => {
+                opts.seed = next(&mut argv, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed must be an integer"));
+            }
+            "--settle" => {
+                let secs: f64 = next(&mut argv, "--settle")
+                    .parse()
+                    .unwrap_or_else(|_| die("--settle must be seconds"));
+                opts.settle = Duration::from_secs_f64(secs.max(0.0));
+            }
+            "--trace" => {
+                trace_path = Some(next(&mut argv, "--trace"));
+                opts.trace = true;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown soak flag {other:?}")),
+        }
+    }
+    eprintln!(
+        "srm-node: soak — {} nodes, {:.1}s scripted, chaos `{}`, seed {}",
+        opts.nodes,
+        opts.duration.as_secs_f64(),
+        opts.chaos,
+        opts.seed
+    );
+    let report = match srm_transport::soak::run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("srm-node: soak failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    print!("{}", report.summary.render("chaos soak"));
+    if let (Some(path), Some(tl)) = (trace_path, &report.timeline) {
+        match std::fs::write(&path, tl.to_jsonl()) {
+            Ok(()) => eprintln!("srm-node: trace: wrote {} events to {path}", tl.len()),
+            Err(e) => {
+                eprintln!("srm-node: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(if report.violations().is_empty() { 0 } else { 1 });
 }
 
 fn main() {
@@ -195,6 +299,18 @@ fn main() {
     }
     if let Some(n) = args.drop_data {
         opts.loss = srm_transport::LossPolicy::none().drop_nth(netsim::flow::DATA, n);
+    }
+    if let Some(spec) = &args.chaos {
+        let peers = match &args.mode {
+            Mode::Mesh { peers } => peers.clone(),
+            Mode::Multicast { .. } => Vec::new(),
+        };
+        match srm_transport::parse_spec(spec, &peers) {
+            Ok(plan) => opts.chaos = Some(plan),
+            Err(e) => die(&format!("--chaos: {e}")),
+        }
+        // Chaos without liveness tracking hides half the story.
+        opts.liveness = Some(srm::LivenessConfig::default());
     }
 
     let node = match Node::spawn(args.bind, args.mode, opts) {

@@ -9,21 +9,26 @@
 //! rest of the simulator's packet metadata) travels *in the packet*, and
 //! receivers reconstruct a [`netsim::Packet`] from it for the agent.
 //!
-//! Layout (big-endian, 20-byte header):
+//! Layout (big-endian, 22-byte header):
 //!
 //! ```text
 //! magic "SRMT" | ver u8 | src u32 | group u32 | ttl u8 | initial_ttl u8 |
-//! flags u8 (bit0 = admin_scoped) | flow u32 | payload = wire::Message
+//! flags u8 (bit0 = admin_scoped) | flow u32 | len u16 | payload = wire::Message
 //! ```
+//!
+//! `len` declares the payload length.  A receiver rejects any datagram
+//! whose declared length disagrees with what actually arrived — the frame
+//! was truncated in flight, padded, or corrupted — *before* handing the
+//! payload to the message decoder.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// First four bytes of every datagram.
 pub const MAGIC: [u8; 4] = *b"SRMT";
 /// Envelope format version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 /// Fixed header length in bytes.
-pub const HEADER_LEN: usize = 20;
+pub const HEADER_LEN: usize = 22;
 
 /// Network-layer metadata for one datagram, plus the encoded SRM message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +61,28 @@ pub enum EnvelopeError {
     BadMagic,
     /// Unknown format version.
     BadVersion(u8),
+    /// Declared payload length disagrees with the datagram's actual size.
+    LengthMismatch {
+        /// Length the header declared.
+        declared: u16,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// Payload longer than the length field can represent (send side only).
+    Oversized,
+}
+
+impl EnvelopeError {
+    /// Stable snake_case class label for counters and typed events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EnvelopeError::Truncated => "truncated",
+            EnvelopeError::BadMagic => "bad_magic",
+            EnvelopeError::BadVersion(_) => "bad_version",
+            EnvelopeError::LengthMismatch { .. } => "length_mismatch",
+            EnvelopeError::Oversized => "oversized",
+        }
+    }
 }
 
 impl std::fmt::Display for EnvelopeError {
@@ -64,6 +91,11 @@ impl std::fmt::Display for EnvelopeError {
             EnvelopeError::Truncated => write!(f, "datagram shorter than envelope header"),
             EnvelopeError::BadMagic => write!(f, "bad envelope magic"),
             EnvelopeError::BadVersion(v) => write!(f, "unknown envelope version {v}"),
+            EnvelopeError::LengthMismatch { declared, actual } => write!(
+                f,
+                "declared payload length {declared} but {actual} bytes arrived"
+            ),
+            EnvelopeError::Oversized => write!(f, "payload exceeds the u16 length field"),
         }
     }
 }
@@ -80,7 +112,12 @@ impl Envelope {
 
     /// Serialize by appending to any [`BufMut`] — lets the send path reuse
     /// one scratch buffer per socket instead of allocating per datagram.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds the u16 length field; UDP datagrams
+    /// top out well below that, so a longer payload is a caller bug.
     pub fn encode_into<B: BufMut>(&self, b: &mut B) {
+        let len = u16::try_from(self.payload.len()).expect("payload fits a UDP datagram");
         b.put_slice(&MAGIC);
         b.put_u8(VERSION);
         b.put_u32(self.src);
@@ -89,6 +126,7 @@ impl Envelope {
         b.put_u8(self.initial_ttl);
         b.put_u8(self.admin_scoped as u8);
         b.put_u32(self.flow);
+        b.put_u16(len);
         b.put_slice(&self.payload);
     }
 
@@ -115,6 +153,10 @@ impl Envelope {
         let initial_ttl = b.get_u8();
         let admin_scoped = b.get_u8() != 0;
         let flow = b.get_u32();
+        let declared = b.get_u16();
+        if usize::from(declared) != b.len() {
+            return Err(EnvelopeError::LengthMismatch { declared, actual: b.len() });
+        }
         Ok(Envelope {
             src,
             group,
@@ -160,6 +202,41 @@ mod tests {
         let mut wire = sample().encode().to_vec();
         wire[4] = 9;
         assert_eq!(Envelope::decode(&wire), Err(EnvelopeError::BadVersion(9)));
+    }
+
+    #[test]
+    fn rejects_length_disagreement() {
+        // Truncated in flight: bytes missing off the tail.
+        let wire = sample().encode();
+        let cut = &wire[..wire.len() - 3];
+        assert_eq!(
+            Envelope::decode(cut),
+            Err(EnvelopeError::LengthMismatch { declared: 18, actual: 15 })
+        );
+        // Padded / oversized: extra trailing bytes.
+        let mut padded = wire.to_vec();
+        padded.extend_from_slice(b"junk");
+        assert_eq!(
+            Envelope::decode(&padded),
+            Err(EnvelopeError::LengthMismatch { declared: 18, actual: 22 })
+        );
+        // A corrupted length field is equally caught.
+        let mut bad_len = wire.to_vec();
+        bad_len[HEADER_LEN - 1] ^= 0x08;
+        assert!(matches!(
+            Envelope::decode(&bad_len),
+            Err(EnvelopeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_labels_are_stable() {
+        assert_eq!(EnvelopeError::Truncated.label(), "truncated");
+        assert_eq!(EnvelopeError::BadVersion(1).label(), "bad_version");
+        assert_eq!(
+            EnvelopeError::LengthMismatch { declared: 1, actual: 2 }.label(),
+            "length_mismatch"
+        );
     }
 
     #[test]

@@ -78,21 +78,32 @@ impl Harness {
 /// wall-clock analogue of [`srm::harvest_timeline`]. Event times are each
 /// node's elapsed time since its own start; harness nodes start within
 /// microseconds of each other, so one shared axis is a fair approximation.
+/// Transport-layer events (chaos actions, supervision, liveness) ride in
+/// the same JSONL stream, sorted just after same-instant recovery events.
 pub fn harvest_timeline(agents: &mut [SrmAgent]) -> obs::Timeline {
     let mut tl = obs::Timeline::new();
     for a in agents {
         let member = a.id.0;
         tl.add_member(member, a.obs.take_events());
+        tl.add_transport(member, a.transport_obs.take_events());
     }
     tl
 }
 
 /// Fold shut-down agents' metrics into a run summary, as
-/// [`srm::harvest_summary`] does for a simulation.
+/// [`srm::harvest_summary`] does for a simulation. Agents that recorded
+/// transport events contribute a row to the transport table; agents without
+/// any (every simulator run) leave the summary byte-identical to before.
 pub fn harvest_summary(agents: &[SrmAgent]) -> obs::RunSummary {
     let mut run = obs::RunSummary::new();
     for a in agents {
         srm::observe::observe_agent(&mut run, a.id.0, &a.metrics);
+        if !a.transport_obs.is_empty() {
+            run.add_transport(obs::TransportSummary::from_events(
+                a.id.0,
+                a.transport_obs.events(),
+            ));
+        }
     }
     run
 }

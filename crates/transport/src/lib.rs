@@ -44,14 +44,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod envelope;
 pub mod harness;
 pub mod runtime;
+pub mod soak;
+pub mod supervise;
 pub mod wheel;
 
+pub use chaos::{parse_spec, ChaosPlan, ChaosState, ChaosTally, ChaosTransport, DelayQueue};
 pub use clock::WallClock;
 pub use envelope::{Envelope, EnvelopeError};
 pub use harness::{harvest_summary, harvest_timeline, Harness};
-pub use runtime::{LossPolicy, Mode, Node, NodeHandle, NodeOptions};
+pub use runtime::{LossPolicy, Mode, Node, NodeHandle, NodeOptions, TransportStats};
+pub use soak::{SoakOptions, SoakReport};
+pub use supervise::{
+    classify, run_supervised, ErrorClass, ExitReason, StepOutcome, SupervisePolicy,
+    SupervisionEvent,
+};
 pub use wheel::TimerWheel;

@@ -4,20 +4,31 @@
 //!
 //! - a **receive thread** blocks on the socket (with a short read timeout so
 //!   shutdown is prompt) and forwards raw datagrams over an [`mpsc`]
-//!   channel;
+//!   channel. It runs under [`run_supervised`]: socket errors are classified
+//!   transient (retried in place with bounded exponential backoff) or fatal
+//!   (a fresh socket clone is respawned against a bounded budget), and
+//!   panics are caught and treated as fatal. Every supervision decision is
+//!   forwarded to the reactor as a typed transport event;
 //! - the **reactor thread** owns the agent, a [`WallClock`], a
-//!   [`TimerWheel`] and a per-node seeded RNG. It waits on the channel with
-//!   a timeout bounded by the wheel's next deadline, so timers fire on time
-//!   and packets are handled as they arrive — the select loop a simulator
-//!   event queue collapses into `recv_timeout`;
+//!   [`TimerWheel`], a chaos [`DelayQueue`] and a per-node seeded RNG. It
+//!   waits on the channel with a timeout bounded by the earliest of the
+//!   wheel's next deadline and the delay queue's next release, so timers
+//!   fire on time and held-back frames hit the wire on schedule — the
+//!   select loop a simulator event queue collapses into `recv_timeout`;
 //! - every agent entry point goes through `RtDriver`, the wall-clock
 //!   implementation of the [`srm::Driver`] seam, so the protocol code that
-//!   runs here is byte-for-byte the code the simulator runs.
+//!   runs here is byte-for-byte the code the simulator runs. With a
+//!   [`ChaosPlan`] configured, a [`ChaosTransport`] decorates the driver
+//!   and applies the plan's scripted loss/duplication/corruption/reorder
+//!   actions to every outgoing frame.
 //!
 //! Two [`Mode`]s cover deployment and CI:
 //!
 //! - [`Mode::Multicast`]: real IP multicast via `join_multicast_v4`; group
-//!   ids map onto a contiguous block of group addresses.
+//!   ids map onto a contiguous block of group addresses. If the join fails
+//!   (no multicast route on the interface) and `fallback_peers` are
+//!   configured, the node degrades to the unicast mesh and records a
+//!   `mode_fallback` event instead of running deaf.
 //! - [`Mode::Mesh`]: a unicast fan-out to an explicit peer list. Multicast
 //!   on a loopback interface needs `SO_REUSEADDR`/`SO_REUSEPORT` to share
 //!   one port between processes, which `std::net` cannot set, so CI runs a
@@ -26,10 +37,26 @@
 //!
 //! A [`LossPolicy`] interposes on the send path (per-flow, optionally
 //! per-destination), giving tests a deterministic way to force the losses
-//! SRM exists to repair.
+//! SRM exists to repair. Chaos blackhole windows are applied on the same
+//! per-destination fan-out, RNG-free, so they never perturb the seeded
+//! chaos draw sequence.
+//!
+//! ## Frame accounting
+//!
+//! Every per-destination send attempt is counted exactly once:
+//!
+//! ```text
+//! frames_attempted == frames_sent + frames_dropped + blackholed + send_errors
+//! ```
+//!
+//! (chaos drop/delay decisions act *before* the fan-out and are tallied
+//! separately as `chaos_*`). The soak harness asserts this invariant, which
+//! is what "zero unexplained drops" means operationally.
 
+use crate::chaos::{Blackhole, ChaosPlan, ChaosState, ChaosTally, ChaosTransport, DelayQueue};
 use crate::clock::WallClock;
 use crate::envelope::Envelope;
+use crate::supervise::{run_supervised, ExitReason, StepOutcome, SupervisePolicy, SupervisionEvent};
 use crate::wheel::TimerWheel;
 use bytes::Bytes;
 use netsim::{GroupId, NodeId, Packet, PacketBody, PacketId, SendOptions, SimDuration, SimTime, TimerId};
@@ -144,12 +171,14 @@ pub struct NodeOptions {
     pub cfg: SrmConfig,
     /// Seed for this node's timer RNG. The simulator draws every node's
     /// timers from one simulation-global seeded RNG; on a real network each
-    /// host has its own, which is the deployment the paper describes.
+    /// host has its own, which is the deployment the paper describes. The
+    /// chaos RNG is derived from this seed (salted), so one seed replays
+    /// both the protocol's timers and the chaos schedule.
     pub seed: u64,
     /// Run periodic session messages (on for any real deployment; tests of
     /// a single recovery round may disable them and seed distances).
     pub session_enabled: bool,
-    /// Enable the obs event recorder from the start.
+    /// Enable the obs event recorders (recovery + transport) from the start.
     pub trace: bool,
     /// Pre-seeded distance estimates (assumed-converged state, as the
     /// figure experiments use). Live session messages refine them.
@@ -158,11 +187,22 @@ pub struct NodeOptions {
     pub skew: SimDuration,
     /// Send-side forced loss.
     pub loss: LossPolicy,
+    /// Scripted chaos applied to every outgoing frame.
+    pub chaos: Option<ChaosPlan>,
+    /// Track peer liveness from session-message silence.
+    pub liveness: Option<srm::LivenessConfig>,
+    /// Recv-thread supervision limits.
+    pub supervision: SupervisePolicy,
+    /// Unicast peers to fall back to if a multicast join fails. Empty
+    /// disables the fallback (join failures are logged and the node stays
+    /// in multicast mode, deaf to groups it could not join).
+    pub fallback_peers: Vec<SocketAddr>,
 }
 
 impl NodeOptions {
-    /// Defaults: sessions on, no trace, no skew, no loss, seed derived
-    /// from the member id.
+    /// Defaults: sessions on, no trace, no skew, no loss, no chaos, no
+    /// liveness tracking, default supervision, seed derived from the
+    /// member id.
     pub fn new(id: SourceId, group: GroupId, cfg: SrmConfig) -> Self {
         NodeOptions {
             id,
@@ -174,32 +214,177 @@ impl NodeOptions {
             initial_distances: Vec::new(),
             skew: SimDuration::ZERO,
             loss: LossPolicy::none(),
+            chaos: None,
+            liveness: None,
+            supervision: SupervisePolicy::default(),
+            fallback_peers: Vec::new(),
         }
     }
 }
 
+/// Salt mixed into the node seed to derive the chaos RNG, keeping the chaos
+/// draw stream independent of the protocol's timer draws.
+const CHAOS_SEED_SALT: u64 = 0xC4A0_5EED_0BAD_CA5E;
+
 /// Counters shared between the runtime and its [`NodeHandle`].
 #[derive(Debug, Default)]
 struct Counters {
+    frames_attempted: AtomicU64,
     frames_sent: AtomicU64,
     frames_dropped: AtomicU64,
     frames_received: AtomicU64,
+    blackholed: AtomicU64,
+    send_errors: AtomicU64,
+    chaos_dropped: AtomicU64,
+    chaos_duplicated: AtomicU64,
+    chaos_delayed: AtomicU64,
+    chaos_corrupted: AtomicU64,
+    decode_errors: AtomicU64,
+    recv_transient_errors: AtomicU64,
+    recv_respawns: AtomicU64,
+    recv_deaths: AtomicU64,
+    mode_fallbacks: AtomicU64,
+    max_wheel_len: AtomicU64,
+    max_delayq_len: AtomicU64,
 }
 
-/// The send half: socket + mode + interposed loss.
+/// A point-in-time snapshot of one node's transport counters.
+///
+/// Satisfies the frame-accounting invariant
+/// `frames_attempted == frames_sent + frames_dropped + blackholed +
+/// send_errors` whenever the reactor is quiescent (the soak harness checks
+/// it after shutdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Per-destination send attempts reaching the socket layer.
+    pub frames_attempted: u64,
+    /// Frames put on the wire (per peer in mesh mode).
+    pub frames_sent: u64,
+    /// Frames suppressed by the [`LossPolicy`].
+    pub frames_dropped: u64,
+    /// Frames accepted from the socket (post filtering).
+    pub frames_received: u64,
+    /// Per-destination frames swallowed by chaos blackhole windows.
+    pub blackholed: u64,
+    /// `send_to` calls that returned an error.
+    pub send_errors: u64,
+    /// Frames dropped by the chaos plan before the fan-out.
+    pub chaos_dropped: u64,
+    /// Extra frame copies injected by the chaos plan.
+    pub chaos_duplicated: u64,
+    /// Frames held back on the chaos delay queue.
+    pub chaos_delayed: u64,
+    /// Frames damaged by the chaos plan.
+    pub chaos_corrupted: u64,
+    /// Inbound datagrams rejected by envelope decoding.
+    pub decode_errors: u64,
+    /// Transient recv errors retried in place by the supervisor.
+    pub recv_transient_errors: u64,
+    /// Recv-thread respawns after fatal errors or panics.
+    pub recv_respawns: u64,
+    /// Recv threads that exhausted the respawn budget and died for good.
+    pub recv_deaths: u64,
+    /// Multicast-join failures degraded to the unicast mesh.
+    pub mode_fallbacks: u64,
+    /// High-water mark of the timer wheel (including lazy-cancelled slots).
+    pub max_wheel_len: u64,
+    /// High-water mark of the chaos delay queue.
+    pub max_delayq_len: u64,
+}
+
+impl TransportStats {
+    fn snapshot(c: &Counters) -> TransportStats {
+        TransportStats {
+            frames_attempted: c.frames_attempted.load(Ordering::Relaxed),
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            frames_dropped: c.frames_dropped.load(Ordering::Relaxed),
+            frames_received: c.frames_received.load(Ordering::Relaxed),
+            blackholed: c.blackholed.load(Ordering::Relaxed),
+            send_errors: c.send_errors.load(Ordering::Relaxed),
+            chaos_dropped: c.chaos_dropped.load(Ordering::Relaxed),
+            chaos_duplicated: c.chaos_duplicated.load(Ordering::Relaxed),
+            chaos_delayed: c.chaos_delayed.load(Ordering::Relaxed),
+            chaos_corrupted: c.chaos_corrupted.load(Ordering::Relaxed),
+            decode_errors: c.decode_errors.load(Ordering::Relaxed),
+            recv_transient_errors: c.recv_transient_errors.load(Ordering::Relaxed),
+            recv_respawns: c.recv_respawns.load(Ordering::Relaxed),
+            recv_deaths: c.recv_deaths.load(Ordering::Relaxed),
+            mode_fallbacks: c.mode_fallbacks.load(Ordering::Relaxed),
+            max_wheel_len: c.max_wheel_len.load(Ordering::Relaxed),
+            max_delayq_len: c.max_delayq_len.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Does this snapshot satisfy the per-destination frame accounting
+    /// invariant? (Only meaningful once the reactor has stopped.)
+    pub fn frames_accounted(&self) -> bool {
+        self.frames_attempted
+            == self.frames_sent + self.frames_dropped + self.blackholed + self.send_errors
+    }
+}
+
+/// The send half: socket + mode + interposed loss + blackhole windows.
 struct Outbound {
     socket: UdpSocket,
     mode: Mode,
     src: u32,
     loss: LossPolicy,
+    /// Chaos partition windows, applied RNG-free per destination.
+    blackholes: Vec<Blackhole>,
     counters: Arc<Counters>,
+    /// Reactor-side transport event log (blackholes, send/socket errors,
+    /// decode failures, supervision events forwarded from the recv thread).
+    log: obs::TransportLog,
     /// Reused datagram scratch: the envelope is serialized here for each
     /// send, so steady-state sending allocates nothing per datagram.
     scratch: Vec<u8>,
 }
 
+/// One per-destination attempt: the single place every outgoing frame's
+/// fate is decided and counted (a free function over [`Outbound`]'s split
+/// field borrows, so the mesh fan-out can iterate `mode`'s peer list while
+/// mutating the loss policy and log).
+#[allow(clippy::too_many_arguments)]
+fn send_one(
+    now: SimTime,
+    dest: SocketAddr,
+    policy_dest: Option<SocketAddr>,
+    flow: u32,
+    socket: &UdpSocket,
+    wire: &[u8],
+    blackholes: &[Blackhole],
+    loss: &mut LossPolicy,
+    counters: &Counters,
+    log: &mut obs::TransportLog,
+) {
+    counters.frames_attempted.fetch_add(1, Ordering::Relaxed);
+    if blackholes.iter().any(|b| b.matches(now, policy_dest)) {
+        counters.blackholed.fetch_add(1, Ordering::Relaxed);
+        log.record(now, obs::TransportEventKind::Blackholed { flow });
+    } else if loss.should_drop(flow, policy_dest) {
+        counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+    } else {
+        match socket.send_to(wire, dest) {
+            Ok(_) => {
+                counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                counters.send_errors.fetch_add(1, Ordering::Relaxed);
+                log.record(
+                    now,
+                    obs::TransportEventKind::SocketError {
+                        detail: format!("send_to {dest}: {e}"),
+                        transient: crate::supervise::classify(e.kind())
+                            == crate::supervise::ErrorClass::Transient,
+                    },
+                );
+            }
+        }
+    }
+}
+
 impl Outbound {
-    fn send(&mut self, group: GroupId, payload: Bytes, opts: SendOptions) {
+    fn send(&mut self, now: SimTime, group: GroupId, payload: Bytes, opts: SendOptions) {
         if opts.ttl == 0 {
             // A zero-TTL datagram never leaves the host.
             return;
@@ -215,38 +400,39 @@ impl Outbound {
             payload,
         }
         .encode_into(&mut self.scratch);
-        let wire = &self.scratch;
-        match &self.mode {
+        let Outbound { socket, mode, loss, blackholes, counters, log, scratch, .. } = self;
+        match mode {
             Mode::Mesh { peers } => {
-                for &p in peers {
-                    if self.loss.should_drop(opts.flow, Some(p)) {
-                        self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                    } else if self.socket.send_to(wire, p).is_ok() {
-                        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-                    }
+                for &p in peers.iter() {
+                    send_one(now, p, Some(p), opts.flow, socket, scratch, blackholes, loss, counters, log);
                 }
             }
             Mode::Multicast { base } => {
                 let dest = Mode::group_addr(*base, group);
-                let _ = self.socket.set_multicast_ttl_v4(u32::from(opts.ttl));
-                if self.loss.should_drop(opts.flow, None) {
-                    self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                } else if self.socket.send_to(wire, dest).is_ok() {
-                    self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-                }
+                let _ = socket.set_multicast_ttl_v4(u32::from(opts.ttl));
+                send_one(
+                    now,
+                    SocketAddr::V4(dest),
+                    None,
+                    opts.flow,
+                    socket,
+                    scratch,
+                    blackholes,
+                    loss,
+                    counters,
+                    log,
+                );
             }
         }
     }
 
-    fn join_group(&mut self, group: GroupId) {
+    fn join_group(&mut self, group: GroupId) -> io::Result<()> {
         if let Mode::Multicast { base } = self.mode {
             let addr = Mode::group_addr(base, group);
-            // Joining is best-effort: on interfaces without multicast the
-            // mesh mode is the supported path.
-            let _ = self
-                .socket
-                .join_multicast_v4(addr.ip(), &Ipv4Addr::UNSPECIFIED);
+            self.socket
+                .join_multicast_v4(addr.ip(), &Ipv4Addr::UNSPECIFIED)?;
         }
+        Ok(())
     }
 }
 
@@ -258,6 +444,7 @@ struct RtDriver<'a> {
     rng: &'a mut StdRng,
     out: &'a mut Outbound,
     joined: &'a mut BTreeSet<GroupId>,
+    fallback_peers: &'a mut Vec<SocketAddr>,
 }
 
 impl Clock for RtDriver<'_> {
@@ -272,12 +459,47 @@ impl Clock for RtDriver<'_> {
 
 impl Transport for RtDriver<'_> {
     fn multicast(&mut self, group: GroupId, payload: Bytes, opts: SendOptions) {
-        self.out.send(group, payload, opts);
+        self.out.send(self.clock.now(), group, payload, opts);
     }
 
     fn join(&mut self, group: GroupId) {
-        if self.joined.insert(group) {
-            self.out.join_group(group);
+        if !self.joined.insert(group) {
+            return;
+        }
+        if let Err(e) = self.out.join_group(group) {
+            let now = self.clock.now();
+            if self.fallback_peers.is_empty() {
+                // No mesh to fall back to: log and stay in multicast mode
+                // (other joins may still succeed).
+                self.out.log.record(
+                    now,
+                    obs::TransportEventKind::SocketError {
+                        detail: format!("join group {}: {e}", group.0),
+                        transient: false,
+                    },
+                );
+                eprintln!(
+                    "srm-node[{}]: multicast join for group {} failed ({e}); no fallback peers",
+                    self.out.src, group.0
+                );
+            } else {
+                // Degrade to the unicast mesh for *all* traffic: one
+                // fan-out path keeps the group-delivery model coherent.
+                let peers = std::mem::take(self.fallback_peers);
+                self.out.counters.mode_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.out.log.record(
+                    now,
+                    obs::TransportEventKind::ModeFallback { peers: peers.len() as u64 },
+                );
+                eprintln!(
+                    "srm-node[{}]: multicast join for group {} failed ({e}); \
+                     falling back to a unicast mesh of {} peers",
+                    self.out.src,
+                    group.0,
+                    peers.len()
+                );
+                self.out.mode = Mode::Mesh { peers };
+            }
         }
     }
 
@@ -301,6 +523,8 @@ type ExecFn = Box<dyn FnOnce(&mut SrmAgent, &mut dyn Driver) + Send>;
 enum Event {
     /// A raw datagram from the receive thread.
     Datagram(Vec<u8>),
+    /// A typed transport event from the receive thread's supervisor.
+    Transport(SimTime, obs::TransportEventKind),
     /// Run a closure against the agent (the wall-clock analogue of
     /// `Simulator::exec`).
     Exec(ExecFn),
@@ -327,35 +551,30 @@ impl Node {
     /// sockets first so every node can list the others as peers).
     pub fn spawn_on(socket: UdpSocket, mode: Mode, opts: NodeOptions) -> io::Result<NodeHandle> {
         let addr = socket.local_addr()?;
-        let recv_socket = socket.try_clone()?;
-        recv_socket.set_read_timeout(Some(RECV_POLL))?;
+        let recv_master = socket.try_clone()?;
 
         let (tx, rx) = mpsc::channel::<Event>();
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
+        let clock = WallClock::with_skew(opts.skew);
 
         let recv_tx = tx.clone();
         let recv_stop = Arc::clone(&stop);
+        let recv_counters = Arc::clone(&counters);
+        let recv_clock = clock.clone();
+        let policy = opts.supervision;
         let recv_thread = thread::Builder::new()
             .name(format!("srm-recv-{}", opts.id.0))
             .spawn(move || {
-                let mut buf = vec![0u8; 64 * 1024];
-                while !recv_stop.load(Ordering::Relaxed) {
-                    match recv_socket.recv_from(&mut buf) {
-                        Ok((n, _from)) => {
-                            if recv_tx.send(Event::Datagram(buf[..n].to_vec())).is_err() {
-                                break;
-                            }
-                        }
-                        Err(e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut =>
-                        {
-                            continue
-                        }
-                        Err(_) => break,
-                    }
-                }
+                run_recv_supervised(
+                    &policy,
+                    recv_master,
+                    addr,
+                    recv_tx,
+                    recv_stop,
+                    recv_counters,
+                    recv_clock,
+                )
             })?;
 
         let id = opts.id;
@@ -364,7 +583,7 @@ impl Node {
         let reactor = thread::Builder::new()
             .name(format!("srm-node-{}", opts.id.0))
             .spawn(move || {
-                let agent = run_reactor(socket, mode, opts, rx, reactor_counters);
+                let agent = run_reactor(socket, mode, opts, rx, reactor_counters, clock);
                 reactor_stop.store(true, Ordering::Relaxed);
                 let _ = recv_thread.join();
                 agent
@@ -380,64 +599,237 @@ impl Node {
     }
 }
 
-/// The reactor loop: fire due timers, then wait for the next datagram,
-/// command, or timer deadline.
+/// The supervised receive loop: each spawned step owns a fresh socket clone
+/// (a rebind when the original descriptor is wedged) with a short read
+/// timeout; poll timeouts are normal progress, everything else goes through
+/// the supervisor's classify/backoff/respawn state machine.
+fn run_recv_supervised(
+    policy: &SupervisePolicy,
+    master: UdpSocket,
+    local: SocketAddr,
+    tx: mpsc::Sender<Event>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    clock: WallClock,
+) {
+    let reason = run_supervised(
+        policy,
+        |attempt| {
+            let sock = if attempt == 0 {
+                master.try_clone()?
+            } else {
+                // Respawn: prefer a clone of the original descriptor, fall
+                // back to a fresh bind of the same address if the
+                // descriptor itself is the problem.
+                master.try_clone().or_else(|_| UdpSocket::bind(local))?
+            };
+            sock.set_read_timeout(Some(RECV_POLL))?;
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let mut buf = vec![0u8; 64 * 1024];
+            Ok(move || -> io::Result<StepOutcome> {
+                if stop.load(Ordering::Relaxed) {
+                    return Ok(StepOutcome::Stop);
+                }
+                match sock.recv_from(&mut buf) {
+                    Ok((n, _from)) => {
+                        if tx.send(Event::Datagram(buf[..n].to_vec())).is_err() {
+                            return Ok(StepOutcome::Stop);
+                        }
+                        Ok(StepOutcome::Continue)
+                    }
+                    // The poll timeout is the loop's heartbeat, not an
+                    // error; it must not enter the supervisor's backoff.
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        Ok(StepOutcome::Continue)
+                    }
+                    Err(e) => Err(e),
+                }
+            })
+        },
+        |ev| {
+            let now = clock.now();
+            match ev {
+                SupervisionEvent::Transient { detail, .. } => {
+                    counters.recv_transient_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Event::Transport(
+                        now,
+                        obs::TransportEventKind::SocketError {
+                            detail: detail.clone(),
+                            transient: true,
+                        },
+                    ));
+                }
+                SupervisionEvent::Fatal { detail } => {
+                    let _ = tx.send(Event::Transport(
+                        now,
+                        obs::TransportEventKind::SocketError {
+                            detail: detail.clone(),
+                            transient: false,
+                        },
+                    ));
+                }
+                SupervisionEvent::Respawned { attempt, .. } => {
+                    counters.recv_respawns.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Event::Transport(
+                        now,
+                        obs::TransportEventKind::RecvRespawn { attempt: *attempt },
+                    ));
+                }
+            }
+        },
+        |backoff| {
+            // Interruptible backoff: keep shutdown latency bounded by the
+            // poll interval even while backing off.
+            let mut left = backoff;
+            while !stop.load(Ordering::Relaxed) && left > Duration::ZERO {
+                let chunk = left.min(RECV_POLL);
+                thread::sleep(chunk);
+                left = left.saturating_sub(chunk);
+            }
+        },
+    );
+    if matches!(reason, ExitReason::Exhausted { .. }) {
+        counters.recv_deaths.fetch_add(1, Ordering::Relaxed);
+        eprintln!("srm-recv: {}", reason.label());
+    }
+    let _ = tx.send(Event::Transport(
+        clock.now(),
+        obs::TransportEventKind::RecvExit { reason: reason.label() },
+    ));
+}
+
+/// The reactor loop: fire due timers, release held-back chaos frames, then
+/// wait for the next datagram, command, or deadline.
 fn run_reactor(
     socket: UdpSocket,
     mode: Mode,
     opts: NodeOptions,
     rx: mpsc::Receiver<Event>,
     counters: Arc<Counters>,
+    clock: WallClock,
 ) -> SrmAgent {
-    let clock = WallClock::with_skew(opts.skew);
     let mut wheel = TimerWheel::new();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut joined: BTreeSet<GroupId> = BTreeSet::new();
+    let mut fallback_peers = opts.fallback_peers;
     let mut out = Outbound {
         socket,
         mode,
         src: u32::try_from(opts.id.0).unwrap_or(u32::MAX),
         loss: opts.loss,
+        blackholes: opts
+            .chaos
+            .as_ref()
+            .map(|p| p.blackholes.clone())
+            .unwrap_or_default(),
         counters: Arc::clone(&counters),
+        log: obs::TransportLog::new(),
         scratch: Vec::new(),
     };
+    let mut chaos = opts
+        .chaos
+        .map(|plan| ChaosState::new(plan, opts.seed ^ CHAOS_SEED_SALT));
+    let mut chaos_log = obs::TransportLog::new();
+    let mut delayq = DelayQueue::new();
+    let mut tally = ChaosTally::default();
 
     let mut agent = SrmAgent::new(opts.id, opts.group, opts.cfg);
     agent.session_enabled = opts.session_enabled;
     if opts.trace {
         agent.obs.enable();
+        agent.transport_obs.enable();
+        out.log.enable();
+        chaos_log.enable();
+    }
+    if let Some(lv) = opts.liveness {
+        agent.liveness.enable(lv);
     }
     for (peer, d) in opts.initial_distances {
         agent.distances_mut().set_distance(peer, d);
     }
 
-    macro_rules! driver {
-        () => {
-            RtDriver {
+    // Bind a driver name for one statement: the chaos decorator when a plan
+    // is configured, the plain wall-clock driver otherwise. Built per entry
+    // point because the driver borrows half the reactor's state.
+    macro_rules! with_driver {
+        (|$d:ident| $body:expr) => {{
+            let mut rt = RtDriver {
                 clock: &clock,
                 wheel: &mut wheel,
                 rng: &mut rng,
                 out: &mut out,
                 joined: &mut joined,
+                fallback_peers: &mut fallback_peers,
+            };
+            match chaos.as_mut() {
+                Some(state) => {
+                    let mut ct = ChaosTransport {
+                        inner: &mut rt,
+                        state,
+                        delayq: &mut delayq,
+                        tally: &mut tally,
+                        log: &mut chaos_log,
+                    };
+                    let $d: &mut dyn Driver = &mut ct;
+                    $body
+                }
+                None => {
+                    let $d: &mut dyn Driver = &mut rt;
+                    $body
+                }
             }
-        };
+        }};
     }
 
-    agent.drive_start(&mut driver!());
+    with_driver!(|d| agent.drive_start(d));
 
     let mut rx_seq = 0u64;
+    let mut decode_fail_count = 0u64;
     loop {
         while let Some(token) = wheel.pop_expired(clock.now()) {
-            agent.drive_timer(&mut driver!(), token);
+            with_driver!(|d| agent.drive_timer(d, token));
         }
-        let wait = match wheel.next_deadline() {
+        // Release due held-back frames straight to the socket: the chaos
+        // verdict already ran when they were queued, so a frame is acted on
+        // at most once.
+        while let Some(held) = delayq.pop_due(clock.now()) {
+            out.send(clock.now(), held.group, held.payload, held.opts);
+        }
+        publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len());
+        let deadline = match (wheel.next_deadline(), delayq.next_due()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let wait = match deadline {
             Some(at) => clock.until(at).min(IDLE_WAIT),
             None => IDLE_WAIT,
         };
         match rx.recv_timeout(wait) {
             Ok(Event::Datagram(buf)) => {
-                let Ok(env) = Envelope::decode(&buf) else {
-                    continue; // not ours / corrupt header
+                let env = match Envelope::decode(&buf) {
+                    Ok(env) => env,
+                    Err(e) => {
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        out.log.record(
+                            clock.now(),
+                            obs::TransportEventKind::DecodeError { reason: e.label().to_string() },
+                        );
+                        decode_fail_count += 1;
+                        // Rate-limited: the first few in full, then one
+                        // sample per 256 so a corruption storm cannot flood
+                        // stderr.
+                        if decode_fail_count <= 5 || decode_fail_count.is_multiple_of(256) {
+                            eprintln!(
+                                "srm-node[{}]: rejected undecodable datagram ({e}); {} total",
+                                out.src, decode_fail_count
+                            );
+                        }
+                        continue;
+                    }
                 };
                 // Self-delivery (multicast loopback echo) and traffic for
                 // groups we have not joined are the network's job to
@@ -464,14 +856,39 @@ fn run_reactor(
                         payload: env.payload.clone(),
                     },
                 );
-                agent.drive_packet(&mut driver!(), &pkt);
+                with_driver!(|d| agent.drive_packet(d, &pkt));
             }
-            Ok(Event::Exec(f)) => f(&mut agent, &mut driver!()),
+            Ok(Event::Transport(at, kind)) => {
+                out.log.record(at, kind);
+            }
+            Ok(Event::Exec(f)) => with_driver!(|d| f(&mut agent, d)),
             Ok(Event::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
             Err(mpsc::RecvTimeoutError::Timeout) => {}
         }
     }
+    publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len());
+    // Merge the reactor-side logs into the agent's transport stream, so one
+    // per-member event sequence survives harvesting.
+    let mut extra = out.log.take_events();
+    extra.extend(chaos_log.take_events());
+    agent.transport_obs.absorb(extra);
     agent
+}
+
+/// Publish the reactor-owned tallies and high-water marks to the shared
+/// atomic counters (the tallies are cumulative, so a store is correct).
+fn publish_reactor_counters(
+    counters: &Counters,
+    tally: &ChaosTally,
+    wheel_len: usize,
+    delayq_len: usize,
+) {
+    counters.chaos_dropped.store(tally.dropped, Ordering::Relaxed);
+    counters.chaos_duplicated.store(tally.duplicated, Ordering::Relaxed);
+    counters.chaos_delayed.store(tally.delayed, Ordering::Relaxed);
+    counters.chaos_corrupted.store(tally.corrupted, Ordering::Relaxed);
+    counters.max_wheel_len.fetch_max(wheel_len as u64, Ordering::Relaxed);
+    counters.max_delayq_len.fetch_max(delayq_len as u64, Ordering::Relaxed);
 }
 
 /// Client handle to a running node; drop (or [`NodeHandle::shutdown`])
@@ -514,6 +931,20 @@ impl NodeHandle {
         rrx.recv().expect("node runtime answered")
     }
 
+    /// Liveness probe for the reactor itself: round-trip a no-op exec
+    /// within `timeout`. `false` means the reactor is deadlocked, wedged
+    /// behind a long callback, or gone.
+    pub fn ping(&self, timeout: Duration) -> bool {
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        let probe: ExecFn = Box::new(move |_, _| {
+            let _ = rtx.send(());
+        });
+        if self.tx.send(Event::Exec(probe)).is_err() {
+            return false;
+        }
+        rrx.recv_timeout(timeout).is_ok()
+    }
+
     /// Multicast a new ADU on `page`; returns its name.
     pub fn send_data(&self, page: PageId, payload: Bytes) -> AduName {
         self.exec(move |a, d| a.send_data(d, page, payload))
@@ -539,7 +970,12 @@ impl NodeHandle {
         self.counters.frames_received.load(Ordering::Relaxed)
     }
 
-    /// Stop the runtime and take the final agent (metrics, recorder, and
+    /// Snapshot every transport counter.
+    pub fn stats(&self) -> TransportStats {
+        TransportStats::snapshot(&self.counters)
+    }
+
+    /// Stop the runtime and take the final agent (metrics, recorders, and
     /// store intact) for harvesting.
     pub fn shutdown(mut self) -> SrmAgent {
         let _ = self.tx.send(Event::Shutdown);
@@ -598,5 +1034,11 @@ mod tests {
             Mode::group_addr(base, GroupId(300)),
             "239.66.67.44:7400".parse().unwrap()
         );
+    }
+
+    #[test]
+    fn stats_frame_accounting_starts_balanced() {
+        let s = TransportStats::default();
+        assert!(s.frames_accounted());
     }
 }

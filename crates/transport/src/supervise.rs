@@ -1,0 +1,371 @@
+//! Recv-thread supervision: classify, back off, rebind, respawn.
+//!
+//! The receive loop used to die silently on the first socket error.  This
+//! module gives it a supervisor: socket errors are classified transient
+//! (retried in place with bounded exponential backoff) or fatal (the step
+//! is torn down and re-created — in practice a fresh clone of the socket,
+//! i.e. a rebind — against a bounded respawn budget), and panics inside a
+//! step are caught and treated like fatal errors.  The supervisor reports
+//! every decision through a callback so the reactor can log typed
+//! [`obs::TransportEventKind`] events and keep counters; it never logs
+//! itself.
+//!
+//! The machinery is deliberately generic over closures rather than sockets
+//! so the full state machine — transient retry, backoff growth and cap,
+//! panic respawn, budget exhaustion — is unit-testable without any I/O.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// How a step error should be handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retry the same step after a short backoff: the error is a property
+    /// of the moment, not the socket.
+    Transient,
+    /// Tear the step down and respawn a fresh one (bounded).
+    Fatal,
+}
+
+/// Classify an I/O error kind the way the recv supervisor does.
+///
+/// `WouldBlock`/`TimedOut` are the poll timeouts every read-timeout socket
+/// produces; `Interrupted` is a signal; `ConnectionReset`/`ConnectionAborted`
+/// are what Windows and some Unixes report on a UDP socket after an ICMP
+/// port-unreachable from a peer that is merely restarting.  None of these
+/// say anything about *our* socket, so they are transient.
+pub fn classify(kind: io::ErrorKind) -> ErrorClass {
+    match kind {
+        io::ErrorKind::WouldBlock
+        | io::ErrorKind::TimedOut
+        | io::ErrorKind::Interrupted
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted => ErrorClass::Transient,
+        _ => ErrorClass::Fatal,
+    }
+}
+
+/// Supervision limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisePolicy {
+    /// Fatal errors / panics tolerated before giving up.
+    pub max_respawns: u32,
+    /// First backoff; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> Self {
+        SupervisePolicy {
+            max_respawns: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+impl SupervisePolicy {
+    /// Exponential backoff for the `n`-th consecutive failure (0-based),
+    /// capped at `backoff_max`.
+    pub fn backoff(&self, n: u32) -> Duration {
+        let mult = 1u32.checked_shl(n).unwrap_or(u32::MAX);
+        self.backoff_base
+            .checked_mul(mult)
+            .unwrap_or(self.backoff_max)
+            .min(self.backoff_max)
+    }
+}
+
+/// What one supervised step did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Keep stepping.
+    Continue,
+    /// Clean shutdown was requested.
+    Stop,
+}
+
+/// A supervisor decision, reported as it happens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SupervisionEvent {
+    /// A transient error; the step will be retried after `backoff`.
+    Transient {
+        /// Error description.
+        detail: String,
+        /// Sleep before the retry.
+        backoff: Duration,
+    },
+    /// A fatal error or a panic; the step will be torn down.
+    Fatal {
+        /// Error description (or panic note).
+        detail: String,
+    },
+    /// A fresh step was (re)created after a fatal failure.
+    Respawned {
+        /// 1-based respawn attempt.
+        attempt: u32,
+        /// The backoff that was slept before the respawn.
+        after: Duration,
+    },
+}
+
+/// Why the supervised loop returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExitReason {
+    /// A step asked to stop (shutdown flag, closed channel).
+    Clean,
+    /// The respawn budget ran out; `detail` is the last failure.
+    Exhausted {
+        /// Last failure description.
+        detail: String,
+    },
+}
+
+impl ExitReason {
+    /// Short label for logs and events.
+    pub fn label(&self) -> String {
+        match self {
+            ExitReason::Clean => "shutdown".to_string(),
+            ExitReason::Exhausted { detail } => {
+                format!("respawn budget exhausted: {detail}")
+            }
+        }
+    }
+}
+
+/// Run steps under supervision until a clean stop or budget exhaustion.
+///
+/// `make_step(attempt)` acquires the step's resources (attempt 0 is the
+/// first spawn; ≥1 are respawns — for the recv loop, a fresh socket clone).
+/// The returned closure is called repeatedly; transient errors retry it in
+/// place with exponential backoff, fatal errors and panics consume the
+/// respawn budget and re-run `make_step`.  `report` observes every
+/// decision; `sleep` performs the backoff (injected so tests run instantly).
+pub fn run_supervised<F, M, R, S>(
+    policy: &SupervisePolicy,
+    mut make_step: M,
+    mut report: R,
+    mut sleep: S,
+) -> ExitReason
+where
+    F: FnMut() -> io::Result<StepOutcome>,
+    M: FnMut(u32) -> io::Result<F>,
+    R: FnMut(&SupervisionEvent),
+    S: FnMut(Duration),
+{
+    let mut respawns = 0u32;
+    'spawn: loop {
+        let mut step = match make_step(respawns) {
+            Ok(s) => s,
+            Err(e) => {
+                let ev = SupervisionEvent::Fatal { detail: e.to_string() };
+                report(&ev);
+                if respawns >= policy.max_respawns {
+                    return ExitReason::Exhausted { detail: e.to_string() };
+                }
+                respawns += 1;
+                let pause = policy.backoff(respawns - 1);
+                sleep(pause);
+                report(&SupervisionEvent::Respawned { attempt: respawns, after: pause });
+                continue 'spawn;
+            }
+        };
+        let mut transient_streak = 0u32;
+        loop {
+            match catch_unwind(AssertUnwindSafe(&mut step)) {
+                Ok(Ok(StepOutcome::Stop)) => return ExitReason::Clean,
+                Ok(Ok(StepOutcome::Continue)) => {
+                    transient_streak = 0;
+                }
+                Ok(Err(e)) => match classify(e.kind()) {
+                    ErrorClass::Transient => {
+                        let pause = policy.backoff(transient_streak);
+                        transient_streak = transient_streak.saturating_add(1);
+                        report(&SupervisionEvent::Transient {
+                            detail: e.to_string(),
+                            backoff: pause,
+                        });
+                        sleep(pause);
+                    }
+                    ErrorClass::Fatal => {
+                        report(&SupervisionEvent::Fatal { detail: e.to_string() });
+                        if respawns >= policy.max_respawns {
+                            return ExitReason::Exhausted { detail: e.to_string() };
+                        }
+                        respawns += 1;
+                        let pause = policy.backoff(respawns - 1);
+                        sleep(pause);
+                        report(&SupervisionEvent::Respawned {
+                            attempt: respawns,
+                            after: pause,
+                        });
+                        continue 'spawn;
+                    }
+                },
+                Err(_panic) => {
+                    let detail = "recv step panicked".to_string();
+                    report(&SupervisionEvent::Fatal { detail: detail.clone() });
+                    if respawns >= policy.max_respawns {
+                        return ExitReason::Exhausted { detail };
+                    }
+                    respawns += 1;
+                    let pause = policy.backoff(respawns - 1);
+                    sleep(pause);
+                    report(&SupervisionEvent::Respawned { attempt: respawns, after: pause });
+                    continue 'spawn;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn policy() -> SupervisePolicy {
+        SupervisePolicy {
+            max_respawns: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(80),
+        }
+    }
+
+    #[test]
+    fn classification_matches_the_issue_list() {
+        assert_eq!(classify(io::ErrorKind::WouldBlock), ErrorClass::Transient);
+        assert_eq!(classify(io::ErrorKind::Interrupted), ErrorClass::Transient);
+        assert_eq!(classify(io::ErrorKind::ConnectionReset), ErrorClass::Transient);
+        assert_eq!(classify(io::ErrorKind::PermissionDenied), ErrorClass::Fatal);
+        assert_eq!(classify(io::ErrorKind::NotConnected), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = policy();
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(80));
+        assert_eq!(p.backoff(10), Duration::from_millis(80), "capped");
+        assert_eq!(p.backoff(40), Duration::from_millis(80), "no shift overflow");
+    }
+
+    #[test]
+    fn transient_errors_retry_in_place_with_growing_backoff() {
+        let script = RefCell::new(vec![
+            Err(io::Error::new(io::ErrorKind::ConnectionReset, "icmp")),
+            Err(io::Error::new(io::ErrorKind::ConnectionReset, "icmp")),
+            Ok(StepOutcome::Continue),
+            Err(io::Error::new(io::ErrorKind::ConnectionReset, "icmp")),
+            Ok(StepOutcome::Stop),
+        ]);
+        let mut spawns = 0;
+        let mut slept = Vec::new();
+        let mut events = Vec::new();
+        let reason = run_supervised(
+            &policy(),
+            |_| {
+                spawns += 1;
+                Ok(|| script.borrow_mut().remove(0))
+            },
+            |e| events.push(e.clone()),
+            |d| slept.push(d),
+        );
+        assert_eq!(reason, ExitReason::Clean);
+        assert_eq!(spawns, 1, "transient errors never respawn");
+        // Backoff grew across the first streak, then reset after success.
+        assert_eq!(
+            slept,
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(10)
+            ]
+        );
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, SupervisionEvent::Transient { .. })));
+    }
+
+    #[test]
+    fn panics_respawn_until_the_budget_runs_out() {
+        let mut spawns = 0u32;
+        let mut events = Vec::new();
+        let reason = run_supervised(
+            &policy(),
+            |attempt| {
+                spawns += 1;
+                assert_eq!(attempt + 1, spawns);
+                Ok(|| -> io::Result<StepOutcome> { panic!("boom") })
+            },
+            |e| events.push(e.clone()),
+            |_| {},
+        );
+        // First spawn + max_respawns respawns, all panicking.
+        assert_eq!(spawns, 3);
+        assert!(matches!(reason, ExitReason::Exhausted { .. }));
+        let respawns: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                SupervisionEvent::Respawned { attempt, .. } => Some(*attempt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(respawns, vec![1, 2]);
+        assert!(reason.label().contains("panicked"));
+    }
+
+    // A panicking step must not poison the supervisor: after a respawn the
+    // fresh step runs normally.
+    #[test]
+    fn a_respawned_step_can_recover() {
+        let mut spawns = 0;
+        let reason = run_supervised(
+            &policy(),
+            move |_| {
+                spawns += 1;
+                let healthy = spawns > 1;
+                let mut fired = false;
+                Ok(move || -> io::Result<StepOutcome> {
+                    if !healthy {
+                        panic!("first life dies");
+                    }
+                    if fired {
+                        return Ok(StepOutcome::Stop);
+                    }
+                    fired = true;
+                    Ok(StepOutcome::Continue)
+                })
+            },
+            |_| {},
+            |_| {},
+        );
+        assert_eq!(reason, ExitReason::Clean);
+    }
+
+    #[test]
+    fn make_step_failure_consumes_the_budget() {
+        let mut events = Vec::new();
+        let reason = run_supervised(
+            &policy(),
+            |_| -> io::Result<fn() -> io::Result<StepOutcome>> {
+                Err(io::Error::new(io::ErrorKind::AddrInUse, "bind failed"))
+            },
+            |e| events.push(e.clone()),
+            |_| {},
+        );
+        assert!(matches!(reason, ExitReason::Exhausted { .. }));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, SupervisionEvent::Fatal { .. }))
+                .count(),
+            3
+        );
+    }
+}

@@ -7,6 +7,13 @@
 //! every wake-up. Cancelled entries stay in the heap and are discarded when
 //! they surface, so both `arm` and `cancel` are `O(log n)` with no
 //! re-heapify.
+//!
+//! Lazy cancellation alone can leak: a cancel recorded *after* its timer
+//! already fired never meets its heap entry, and under heavy churn the
+//! tombstone set would grow without bound. [`TimerWheel::cancel`] therefore
+//! compacts — rebuilds the heap without cancelled entries and clears the
+//! set — whenever tombstones outnumber half the live heap, keeping memory
+//! proportional to the number of *pending* timers at `O(n)` amortized cost.
 
 use netsim::{SimTime, TimerId};
 use std::cmp::Reverse;
@@ -42,6 +49,26 @@ impl TimerWheel {
     /// never armed here) is a no-op.
     pub fn cancel(&mut self, id: TimerId) {
         self.cancelled.insert(id.0);
+        self.maybe_compact();
+    }
+
+    /// Rebuild without tombstones once they dominate the heap. The `> 64`
+    /// floor keeps small wheels on the pure-lazy fast path.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() <= 64 || self.cancelled.len() <= self.heap.len() / 2 {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        let entries = std::mem::take(&mut self.heap);
+        self.heap = entries
+            .into_iter()
+            .filter(|Reverse((_, id, _))| !cancelled.contains(id))
+            .collect();
+    }
+
+    /// Tombstones currently awaiting collection (test/diagnostic hook).
+    pub fn pending_cancels(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// The earliest live deadline, if any. Pops dead (cancelled) entries
@@ -129,5 +156,40 @@ mod tests {
         w.cancel(a);
         w.arm(SimTime::from_secs(2), 2);
         assert_eq!(w.pop_expired(SimTime::from_secs(3)), Some(2));
+    }
+
+    #[test]
+    fn churn_does_not_grow_tombstones_unboundedly() {
+        let mut w = TimerWheel::new();
+        // Arm-fire-cancel churn: every cancel lands after its timer fired,
+        // so pure lazy collection would never reclaim a single tombstone.
+        for i in 0..10_000u64 {
+            let id = w.arm(SimTime::from_secs(i), i);
+            assert_eq!(w.pop_expired(SimTime::from_secs(i)), Some(i));
+            w.cancel(id);
+        }
+        assert!(w.pending_cancels() <= 128, "tombstones reclaimed: {}", w.pending_cancels());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_live_timers() {
+        let mut w = TimerWheel::new();
+        let keep = w.arm(SimTime::from_secs(500), 999);
+        let mut dead = Vec::new();
+        for i in 0..200u64 {
+            dead.push(w.arm(SimTime::from_secs(i), i));
+        }
+        for id in dead {
+            w.cancel(id);
+        }
+        // Compaction keeps tombstones under the 64-entry floor rather than
+        // chasing zero; the point is the heap no longer holds all 200.
+        assert!(w.pending_cancels() <= 64, "tombstones: {}", w.pending_cancels());
+        assert!(w.len() <= 1 + 2 * 64, "heap bounded: {}", w.len());
+        assert_eq!(w.next_deadline(), Some(SimTime::from_secs(500)));
+        assert_eq!(w.pop_expired(SimTime::from_secs(500)), Some(999));
+        w.cancel(keep);
+        assert!(w.is_empty());
     }
 }

@@ -23,6 +23,13 @@ cargo build --release -p srm-transport --bin srm-node
 echo "== transport loopback (live-UDP loss recovery) =="
 cargo test -q --test transport_loopback
 
+echo "== transport chaos (seeded determinism, wheel churn, blackhole heal) =="
+cargo test -q --test transport_chaos
+
+echo "== soak smoke (bounded chaos run, invariant gate; DESIGN.md §9) =="
+timeout 60 ./target/release/srm-node soak --nodes 3 --secs 3 --adus 2 --seed 7 \
+    --chaos "loss=0.1,dup=0.05,reorder=0.15:30ms,jitter=20ms,burst=0.9@1s+1.5s,blackhole=2@1s+1.5s"
+
 echo "== golden trace (observability JSONL pins) =="
 cargo test -q --test golden_trace
 
