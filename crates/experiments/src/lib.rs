@@ -43,6 +43,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod monitor_cmd;
 pub mod par;
 pub mod quartiles;
 pub mod repair_sweep;

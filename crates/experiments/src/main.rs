@@ -8,8 +8,10 @@
 //! srm-experiments trace --scenario chain-drop [--member N] [--adu ADU]
 //!                       [--fault LABEL] [--chains] [--out FILE]
 //! srm-experiments report [--scenario NAME]
+//! srm-experiments monitor --monitor FILE [--stats FILE]... [--validate]
 //! ```
 
+use srm_experiments::monitor_cmd;
 use srm_experiments::trace_cmd::{run_traced, TRACE_SCENARIOS};
 use srm_experiments::{run_figure, RunOpts, FIGURES};
 use std::path::PathBuf;
@@ -89,6 +91,70 @@ fn cmd_report(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `monitor`: validate and aggregate the wall-clock transport's JSONL
+/// streams — `srm-node monitor --out` files and `--stats-file` snapshots —
+/// into one report.  With `--validate`, any schema violation exits 1 (the
+/// CI hook for the snapshot formats).
+fn cmd_monitor(args: &[String]) -> ! {
+    let mut monitor_path: Option<String> = None;
+    let mut stats_paths: Vec<String> = Vec::new();
+    let mut validate = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--monitor" | "-m" => monitor_path = it.next().cloned(),
+            "--stats" => stats_paths.extend(it.next().cloned()),
+            "--validate" => validate = true,
+            other => monitor_usage(&format!("unknown monitor flag: {other}")),
+        }
+    }
+    if monitor_path.is_none() && stats_paths.is_empty() {
+        monitor_usage("monitor needs --monitor FILE and/or --stats FILE");
+    }
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let mut failed = false;
+    let monitor = monitor_path.as_deref().map(|p| {
+        monitor_cmd::digest_monitor(&read(p)).unwrap_or_else(|e| {
+            eprintln!("{p}: {e}");
+            std::process::exit(1);
+        })
+    });
+    let mut stats = Vec::new();
+    for p in &stats_paths {
+        match monitor_cmd::digest_stats(&read(p)) {
+            Ok(d) => {
+                if validate && !d.non_monotone.is_empty() {
+                    eprintln!("{p}: counters regressed: {}", d.non_monotone.join(","));
+                    failed = true;
+                }
+                stats.push((p.clone(), d));
+            }
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    print!("{}", monitor_cmd::render(monitor.as_ref(), &stats));
+    if validate && !failed {
+        eprintln!("monitor: all files valid");
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn monitor_usage(err: &str) -> ! {
+    eprintln!("{err}");
+    eprintln!(
+        "usage: srm-experiments monitor --monitor FILE [--stats FILE]... [--validate]"
+    );
+    std::process::exit(2);
+}
+
 fn trace_usage(err: &str) -> ! {
     eprintln!("{err}");
     eprintln!(
@@ -105,6 +171,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("trace") => cmd_trace(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
         _ => {}
     }
     let mut opts = RunOpts::default();

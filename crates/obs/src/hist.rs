@@ -31,11 +31,14 @@ pub struct LogHistogram {
     max: f64,
 }
 
-fn bucket_index(v: f64) -> i32 {
+/// Bucket index of a positive sample (shared with the atomic histograms in
+/// [`metrics`](crate::metrics), so their snapshots merge exactly).
+pub(crate) fn bucket_index(v: f64) -> i32 {
     (v.log2() * SUBDIV).floor() as i32
 }
 
-fn bucket_mid(i: i32) -> f64 {
+/// Geometric midpoint of bucket `i` — the value quantiles resolve to.
+pub(crate) fn bucket_mid(i: i32) -> f64 {
     ((i as f64 + 0.5) / SUBDIV).exp2()
 }
 
@@ -43,6 +46,41 @@ impl LogHistogram {
     /// A fresh, empty histogram.
     pub fn new() -> Self {
         LogHistogram::default()
+    }
+
+    /// Assemble a histogram from already-tallied state (the atomic
+    /// histograms in [`metrics`](crate::metrics) snapshot through this).
+    /// `min`/`max` are only meaningful when `count > 0`; a zero `count`
+    /// yields the empty histogram regardless of the other fields.
+    pub(crate) fn from_raw(
+        buckets: BTreeMap<i32, u64>,
+        zeros: u64,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        if count == 0 {
+            return LogHistogram::new();
+        }
+        LogHistogram { buckets, zeros, count, sum, min, max }
+    }
+
+    /// Number of samples that were `<= 0` (the dedicated zeros bucket).
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Iterate the non-empty log buckets as `(bucket_index, count)`, in
+    /// ascending index order.  The zeros bucket is not included; see
+    /// [`LogHistogram::zeros`].
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.buckets.iter().map(|(&i, &c)| (i, c))
     }
 
     /// Record one sample.  Non-finite samples are ignored; samples `<= 0`
@@ -231,5 +269,67 @@ mod tests {
         h.record(f64::NAN);
         h.record(f64::INFINITY);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let mut h = LogHistogram::new();
+        for v in [0.0, 0.5, 8.0] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, before, "merging an empty histogram changes nothing");
+        let mut e = LogHistogram::new();
+        e.merge(&LogHistogram::new());
+        assert_eq!(e, LogHistogram::new(), "empty + empty stays empty");
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut h = LogHistogram::new();
+        h.record(3.0);
+        // Every quantile of a one-sample histogram is that sample's bucket.
+        let mid = bucket_mid(bucket_index(3.0));
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(mid), "q={q}");
+        }
+        assert_eq!(h.min(), Some(3.0));
+        assert_eq!(h.max(), Some(3.0));
+        assert_eq!(h.mean(), Some(3.0));
+        // A single zero sample resolves to 0.0 everywhere.
+        let mut z = LogHistogram::new();
+        z.record(0.0);
+        assert_eq!(z.quantile(0.5), Some(0.0));
+        assert_eq!(z.zeros(), 1);
+    }
+
+    #[test]
+    fn extreme_magnitudes_stay_finite() {
+        // The BTreeMap representation has no bucket range limit; indices at
+        // extreme magnitudes must still record and resolve finitely.
+        let mut h = LogHistogram::new();
+        h.record(1e-300);
+        h.record(1e300);
+        assert_eq!(h.count(), 2);
+        let p0 = h.quantile(0.0).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p0.is_finite() && p0 > 0.0, "p0={p0}");
+        assert!(p100.is_finite(), "p100={p100}");
+        assert_eq!(h.max(), Some(1e300));
+    }
+
+    #[test]
+    fn accessors_expose_raw_state() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(2.0);
+        h.record(2.1);
+        assert_eq!(h.zeros(), 1);
+        assert!((h.sum() - 4.1).abs() < 1e-12);
+        let buckets: Vec<(i32, u64)> = h.bucket_counts().collect();
+        let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 2, "zeros are not in the log buckets");
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "ascending order");
     }
 }

@@ -33,6 +33,7 @@
 
 pub mod event;
 pub mod hist;
+pub mod metrics;
 pub mod recorder;
 pub mod stats;
 pub mod summary;
@@ -41,6 +42,7 @@ pub mod transport;
 
 pub use event::{AduKey, EventKind, FaultSpan, RecordedEvent, RecoveryVia};
 pub use hist::LogHistogram;
+pub use metrics::{Counter, Gauge, Histo, MetricsRegistry, MetricsSnapshot};
 pub use recorder::Recorder;
 pub use stats::{summarize, Summary};
 pub use summary::{MemberSummary, RunSummary};

@@ -6,6 +6,15 @@
 //! figure runs.  Enabling a recorder never touches the protocol's RNG or
 //! timers, so a traced run takes exactly the same decisions as an untraced
 //! one — only the observation differs.
+//!
+//! Recorders come in two capacities, mirroring the netsim `Trace` sink:
+//! [`Recorder::enable`] keeps every event (simulator and golden-trace runs,
+//! which need the complete stream), while [`Recorder::enable_bounded`] keeps
+//! a ring of the most recent `cap` events and counts what it evicted
+//! ([`Recorder::dropped_events`]) — the right mode for long live `srm-node`
+//! runs whose memory must stay bounded.
+
+use std::collections::VecDeque;
 
 use netsim::SimTime;
 
@@ -19,8 +28,11 @@ use crate::event::{AduKey, EventKind, RecordedEvent};
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     enabled: bool,
+    /// `None` = unbounded; `Some(cap)` = ring of the most recent `cap`.
+    cap: Option<usize>,
     seq: u64,
-    events: Vec<RecordedEvent>,
+    events: VecDeque<RecordedEvent>,
+    dropped: u64,
 }
 
 impl Recorder {
@@ -29,15 +41,36 @@ impl Recorder {
         Recorder::default()
     }
 
-    /// Turn recording on.  Safe to call at any point; events before the call
-    /// are simply not captured.
+    /// Turn recording on, unbounded.  Safe to call at any point; events
+    /// before the call are simply not captured.
     pub fn enable(&mut self) {
         self.enabled = true;
+        self.cap = None;
+    }
+
+    /// Turn recording on with a ring of the most recent `cap` events.
+    /// When full, the oldest event is evicted and counted in
+    /// [`Recorder::dropped_events`].  A `cap` of 0 records nothing (every
+    /// event counts as dropped).
+    pub fn enable_bounded(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = Some(cap);
     }
 
     /// Is this recorder capturing events?
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The ring capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Number of events evicted from the ring since enabling (always 0 in
+    /// unbounded mode).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of events captured so far.
@@ -58,19 +91,29 @@ impl Recorder {
         }
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(RecordedEvent { at, adu, kind, seq });
+        if let Some(cap) = self.cap {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(RecordedEvent { at, adu, kind, seq });
     }
 
     /// Drain the captured events, leaving the recorder enabled-state and
     /// sequence counter intact (a crash/restart cycle keeps numbering
     /// monotone).
     pub fn take_events(&mut self) -> Vec<RecordedEvent> {
-        std::mem::take(&mut self.events)
+        std::mem::take(&mut self.events).into()
     }
 
-    /// Borrow the captured events without draining.
-    pub fn events(&self) -> &[RecordedEvent] {
-        &self.events
+    /// Iterate the captured events without draining, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &RecordedEvent> {
+        self.events.iter()
     }
 }
 
@@ -102,6 +145,34 @@ mod tests {
         assert_eq!(evs[1].seq, 1);
         // Sequence numbering continues across a drain.
         r.record(SimTime::ZERO, adu(), EventKind::GaveUp);
-        assert_eq!(r.events()[0].seq, 2);
+        assert_eq!(r.events().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn bounded_recorder_keeps_most_recent_and_counts_drops() {
+        let mut r = Recorder::new();
+        r.enable_bounded(2);
+        assert_eq!(r.capacity(), Some(2));
+        for round in 1..=5 {
+            r.record(SimTime::ZERO, adu(), EventKind::RequestSent { round });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped_events(), 3);
+        // The survivors are the two most recent, seq numbering untouched.
+        let evs = r.take_events();
+        assert_eq!((evs[0].seq, evs[1].seq), (3, 4));
+        // Numbering still continues after the drain.
+        r.record(SimTime::ZERO, adu(), EventKind::GaveUp);
+        assert_eq!(r.events().next().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing_but_counts() {
+        let mut r = Recorder::new();
+        r.enable_bounded(0);
+        r.record(SimTime::ZERO, adu(), EventKind::GapDetected);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped_events(), 1);
+        assert!(r.is_enabled());
     }
 }

@@ -188,13 +188,14 @@ impl RunSummary {
         self.transport.push(t);
     }
 
-    /// Render the transport table alone (chaos / supervision / liveness).
+    /// Render the transport table alone (chaos / supervision / liveness /
+    /// queue peaks).
     pub fn render_transport(&self) -> String {
-        const HEADERS: [&str; 11] = [
+        const HEADERS: [&str; 13] = [
             "member", "chdrop", "chdup", "chdelay", "chcorrupt", "blackhole", "sockerr",
-            "respawn", "decerr", "suspect", "dead",
+            "respawn", "decerr", "suspect", "dead", "wheelhw", "delayqhw",
         ];
-        let mut rows: Vec<[String; 11]> = Vec::new();
+        let mut rows: Vec<[String; 13]> = Vec::new();
         let mut sorted = self.transport.clone();
         sorted.sort_by_key(|t| t.member);
         let mut total = TransportSummary::new(0);
@@ -209,11 +210,15 @@ impl RunSummary {
             total.decode_errors += t.decode_errors;
             total.peers_suspected += t.peers_suspected;
             total.peers_died += t.peers_died;
+            // High-water marks are peaks, not flows: the total row shows the
+            // worst node, not a meaningless sum.
+            total.wheel_hw = total.wheel_hw.max(t.wheel_hw);
+            total.delayq_hw = total.delayq_hw.max(t.delayq_hw);
             rows.push(transport_row(&format!("m{}", t.member), t));
         }
         rows.push(transport_row("total", &total));
 
-        let mut widths: [usize; 11] = [0; 11];
+        let mut widths: [usize; 13] = [0; 13];
         for (i, h) in HEADERS.iter().enumerate() {
             widths[i] = h.len();
         }
@@ -243,7 +248,7 @@ impl RunSummary {
     }
 }
 
-fn transport_row(label: &str, t: &TransportSummary) -> [String; 11] {
+fn transport_row(label: &str, t: &TransportSummary) -> [String; 13] {
     [
         label.to_string(),
         t.chaos_dropped.to_string(),
@@ -256,6 +261,8 @@ fn transport_row(label: &str, t: &TransportSummary) -> [String; 11] {
         t.decode_errors.to_string(),
         t.peers_suspected.to_string(),
         t.peers_died.to_string(),
+        t.wheel_hw.to_string(),
+        t.delayq_hw.to_string(),
     ]
 }
 

@@ -15,6 +15,7 @@
 //! renders a per-member transport table — but only when any transport events
 //! exist, so simulator reports stay byte-identical.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use netsim::{SimDuration, SimTime};
@@ -79,6 +80,15 @@ pub enum TransportEventKind {
         /// Decode failure class, e.g. `"truncated"` or `"length_mismatch"`.
         reason: String,
     },
+    /// High-water marks of the reactor's queues, recorded once at reactor
+    /// shutdown (live depths are registry gauges; this pins the peaks into
+    /// the offline stream).
+    QueueHighWater {
+        /// Peak timer-wheel length over the reactor's lifetime.
+        wheel: u64,
+        /// Peak chaos DelayQueue length over the reactor's lifetime.
+        delayq: u64,
+    },
     /// A peer previously suspect/dead was heard from again.
     PeerAlive {
         /// The peer's member id.
@@ -110,6 +120,7 @@ impl TransportEventKind {
             TransportEventKind::RecvExit { .. } => "recv_exit",
             TransportEventKind::ModeFallback { .. } => "mode_fallback",
             TransportEventKind::DecodeError { .. } => "decode_error",
+            TransportEventKind::QueueHighWater { .. } => "queue_high_water",
             TransportEventKind::PeerAlive { .. } => "peer_alive",
             TransportEventKind::PeerSuspect { .. } => "peer_suspect",
             TransportEventKind::PeerDead { .. } => "peer_dead",
@@ -148,6 +159,9 @@ impl TransportEventKind {
             TransportEventKind::DecodeError { reason } => {
                 let _ = write!(out, ",\"reason\":\"{}\"", crate::timeline::escape(reason));
             }
+            TransportEventKind::QueueHighWater { wheel, delayq } => {
+                let _ = write!(out, ",\"wheel\":{wheel},\"delayq\":{delayq}");
+            }
             TransportEventKind::PeerAlive { peer }
             | TransportEventKind::PeerSuspect { peer }
             | TransportEventKind::PeerDead { peer } => {
@@ -171,12 +185,17 @@ pub struct TransportRecord {
 /// Captures the transport event stream of one node.
 ///
 /// Mirrors [`Recorder`](crate::Recorder): disabled by default, one branch
-/// when off, sequence numbering survives drains.
+/// when off, sequence numbering survives drains, and
+/// [`TransportLog::enable_bounded`] keeps a ring of the most recent events
+/// with a dropped count for long live runs.
 #[derive(Debug, Clone, Default)]
 pub struct TransportLog {
     enabled: bool,
+    /// `None` = unbounded; `Some(cap)` = ring of the most recent `cap`.
+    cap: Option<usize>,
     seq: u64,
-    events: Vec<TransportRecord>,
+    events: VecDeque<TransportRecord>,
+    dropped: u64,
 }
 
 impl TransportLog {
@@ -185,14 +204,34 @@ impl TransportLog {
         TransportLog::default()
     }
 
-    /// Turn capture on.  Events before the call are simply not captured.
+    /// Turn capture on, unbounded.  Events before the call are simply not
+    /// captured.
     pub fn enable(&mut self) {
         self.enabled = true;
+        self.cap = None;
+    }
+
+    /// Turn capture on with a ring of the most recent `cap` events; evicted
+    /// events are counted in [`TransportLog::dropped_events`].  A `cap` of 0
+    /// records nothing.
+    pub fn enable_bounded(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = Some(cap);
     }
 
     /// Is this log capturing events?
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The ring capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Number of events evicted from the ring since enabling.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of events captured so far.
@@ -213,36 +252,56 @@ impl TransportLog {
         }
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(TransportRecord { at, kind, seq });
+        if let Some(cap) = self.cap {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(TransportRecord { at, kind, seq });
     }
 
     /// Drain the captured events, keeping enabled-state and sequence counter
     /// (crash/restart cycles keep numbering monotone).
     pub fn take_events(&mut self) -> Vec<TransportRecord> {
-        std::mem::take(&mut self.events)
+        std::mem::take(&mut self.events).into()
     }
 
-    /// Borrow the captured events without draining.
-    pub fn events(&self) -> &[TransportRecord] {
-        &self.events
+    /// Iterate the captured events without draining, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TransportRecord> {
+        self.events.iter()
     }
 
     /// Merge another log's drained events into this one, restoring the global
     /// time order and re-stamping sequence numbers.  Used when a node keeps
     /// two capture points (e.g. the reactor and the agent) that must end up
-    /// as one per-member stream.
+    /// as one per-member stream.  In bounded mode the merged stream is
+    /// trimmed back to capacity from the oldest end.
     pub fn absorb(&mut self, mut other: Vec<TransportRecord>) {
         if other.is_empty() {
             return;
         }
-        self.events.append(&mut other);
+        let mut all: Vec<TransportRecord> = std::mem::take(&mut self.events).into();
+        all.append(&mut other);
         // Stable by-time sort keeps same-instant events in their original
         // relative order within each source stream.
-        self.events.sort_by_key(|e| e.at.as_nanos());
-        for (i, e) in self.events.iter_mut().enumerate() {
+        all.sort_by_key(|e| e.at.as_nanos());
+        if let Some(cap) = self.cap {
+            if all.len() > cap {
+                let excess = all.len() - cap;
+                all.drain(..excess);
+                self.dropped += excess as u64;
+            }
+        }
+        for (i, e) in all.iter_mut().enumerate() {
             e.seq = i as u64;
         }
-        self.seq = self.events.len() as u64;
+        self.seq = all.len() as u64;
+        self.events = all.into();
     }
 }
 
@@ -272,6 +331,10 @@ pub struct TransportSummary {
     pub peers_suspected: u64,
     /// Peer transitions into the dead state.
     pub peers_died: u64,
+    /// Peak timer-wheel length over the reactor's lifetime.
+    pub wheel_hw: u64,
+    /// Peak chaos DelayQueue length over the reactor's lifetime.
+    pub delayq_hw: u64,
 }
 
 impl TransportSummary {
@@ -280,8 +343,11 @@ impl TransportSummary {
         TransportSummary { member, ..TransportSummary::default() }
     }
 
-    /// Tally a drained event stream into a summary row.
-    pub fn from_events(member: u64, events: &[TransportRecord]) -> Self {
+    /// Tally an event stream (borrowed or drained) into a summary row.
+    pub fn from_events<'a, I>(member: u64, events: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TransportRecord>,
+    {
         let mut s = TransportSummary::new(member);
         for e in events {
             match &e.kind {
@@ -295,6 +361,10 @@ impl TransportSummary {
                 TransportEventKind::DecodeError { .. } => s.decode_errors += 1,
                 TransportEventKind::PeerSuspect { .. } => s.peers_suspected += 1,
                 TransportEventKind::PeerDead { .. } => s.peers_died += 1,
+                TransportEventKind::QueueHighWater { wheel, delayq } => {
+                    s.wheel_hw = s.wheel_hw.max(*wheel);
+                    s.delayq_hw = s.delayq_hw.max(*delayq);
+                }
                 TransportEventKind::RecvExit { .. }
                 | TransportEventKind::ModeFallback { .. }
                 | TransportEventKind::PeerAlive { .. } => {}
@@ -325,7 +395,38 @@ mod tests {
         let evs = log.take_events();
         assert_eq!((evs[0].seq, evs[1].seq), (0, 1));
         log.record(SimTime::ZERO, TransportEventKind::PeerDead { peer: 3 });
-        assert_eq!(log.events()[0].seq, 2);
+        assert_eq!(log.events().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn bounded_log_keeps_most_recent_and_counts_drops() {
+        let mut log = TransportLog::new();
+        log.enable_bounded(2);
+        for flow in 0..5 {
+            log.record(SimTime::ZERO, TransportEventKind::ChaosDrop { flow });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped_events(), 3);
+        let evs = log.take_events();
+        assert_eq!((evs[0].seq, evs[1].seq), (3, 4));
+    }
+
+    #[test]
+    fn bounded_absorb_trims_oldest() {
+        let t = SimTime::from_nanos;
+        let mut a = TransportLog::new();
+        a.enable_bounded(2);
+        a.record(t(10), TransportEventKind::ChaosDrop { flow: 0 });
+        a.record(t(30), TransportEventKind::ChaosDrop { flow: 1 });
+        a.absorb(vec![TransportRecord {
+            at: t(20),
+            kind: TransportEventKind::Blackholed { flow: 2 },
+            seq: 0,
+        }]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped_events(), 1, "the t=10 event was trimmed");
+        let kinds: Vec<&'static str> = a.events().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, ["blackholed", "chaos_drop"]);
     }
 
     #[test]
@@ -339,7 +440,7 @@ mod tests {
         b.enable();
         b.record(t(20), TransportEventKind::DecodeError { reason: "truncated".into() });
         a.absorb(b.take_events());
-        let evs = a.events();
+        let evs: Vec<&TransportRecord> = a.events().collect();
         assert_eq!(evs.len(), 3);
         assert_eq!(evs[1].kind.name(), "decode_error");
         assert_eq!((evs[0].seq, evs[1].seq, evs[2].seq), (0, 1, 2));
@@ -362,5 +463,17 @@ mod tests {
         assert_eq!(s.blackholed, 1);
         assert_eq!(s.peers_suspected, 1);
         assert_eq!(s.peers_died, 1);
+    }
+
+    #[test]
+    fn summary_takes_max_of_high_water_events() {
+        let t = SimTime::from_nanos;
+        let mut log = TransportLog::new();
+        log.enable();
+        log.record(t(1), TransportEventKind::QueueHighWater { wheel: 10, delayq: 2 });
+        log.record(t(2), TransportEventKind::QueueHighWater { wheel: 7, delayq: 5 });
+        let s = TransportSummary::from_events(1, log.events());
+        assert_eq!(s.wheel_hw, 10);
+        assert_eq!(s.delayq_hw, 5);
     }
 }

@@ -10,30 +10,56 @@
 //! `join` participates (receives, answers requests, repairs); `send`
 //! additionally multicasts each `--text` as one ADU. Both run for
 //! `--duration` seconds, print delivered ADUs, and with `--trace FILE`
-//! write the node's obs timeline as JSONL on exit. `--chaos SPEC` applies
-//! a scripted chaos plan to the node's send path.
+//! write the node's obs timeline as JSONL. `--chaos SPEC` applies a
+//! scripted chaos plan to the node's send path.
+//!
+//! `monitor` joins the group **read-only**: it never sends a frame, and
+//! reconstructs per-member health — highest-seq lag, RTT from timestamp
+//! echoes, alive/suspect/dead, loss — purely from the session messages it
+//! receives (Section III-A is the observability substrate). On a unicast
+//! mesh the senders must list the monitor's address among their `--peers`;
+//! with `--mcast` it simply joins the group address.
 //!
 //! `soak` runs the whole chaos-soak harness in-process: a 3–5 node
 //! loopback mesh under a scripted chaos plan, asserting eventual delivery
 //! after heal, zero reactor deaths, bounded queue growth, and full frame
 //! accounting. Exit status 1 means an invariant was violated.
+//!
+//! ## Output files survive interruption
+//!
+//! std-only Rust has no signal handling, so instead of buffering output
+//! until a clean exit, every sink is **incremental**: `--stats-file` lines
+//! are flushed per interval, `--trace` chunks are drained from the reactor
+//! and appended roughly once a second, and `monitor --out` flushes per
+//! refresh. Killing the process (SIGINT included) loses at most the last
+//! partial interval.
 
 use bytes::Bytes;
 use netsim::GroupId;
-use srm_transport::{Mode, Node, NodeOptions, SoakOptions};
-use srm::{PageId, SourceId, SrmConfig};
-use std::net::SocketAddr;
+use srm_transport::{Envelope, GroupMonitor, Mode, Node, NodeOptions, SoakOptions, WallClock};
+use srm::{LivenessConfig, PageId, SourceId, SrmConfig};
+use std::io::Write as _;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
                 [--group N] [--members N] [--text STRING]... [--duration SECS]
-                [--trace FILE] [--seed N] [--chaos SPEC] [--quiet]
+                [--trace FILE] [--trace-cap N] [--seed N] [--chaos SPEC]
+                [--stats-file FILE] [--stats-addr ADDR] [--stats-interval F]
+                [--quiet]
+       srm-node monitor --bind ADDR [--mcast ADDR] [--group N] [--members N]
+                [--duration SECS] [--refresh F] [--out FILE]
+                [--suspect F] [--dead F] [--quiet]
        srm-node soak [--nodes N] [--secs F] [--adus N] [--chaos SPEC]
                 [--seed N] [--settle F] [--trace FILE]
 
   join        participate in the session (receive, request, repair)
   send        also multicast each --text as one ADU
+  monitor     passively observe the group: derive per-member health from
+              received session messages; never transmits a frame
   soak        run an in-process multi-node chaos soak and report invariants
   --id N      this member's source id (unique small integer, required)
   --bind A    local socket address, e.g. 127.0.0.1:7401 (required)
@@ -49,7 +75,21 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
   --chaos S   scripted chaos spec, e.g.
               loss=0.1,dup=0.05,reorder=0.2:40ms,burst=0.9@1s+2s,blackhole=2@1s+3s
               (blackhole peer indexes are 1-based into --peers)
-  --quiet     do not print delivered ADUs
+  --quiet     do not print delivered ADUs (monitor: no health table)
+  --trace-cap N     bound the in-memory trace ring to N events (default
+              65536 when tracing; 0 = unbounded, the simulator's mode)
+  --stats-file F    append a versioned metrics-snapshot JSONL line to F
+              every --stats-interval seconds (flushed per line)
+  --stats-addr A    send a Prometheus-style text exposition to UDP A
+              every --stats-interval seconds
+  --stats-interval  seconds between metric snapshots (default 1)
+  monitor only:
+  --refresh F render the group-health table (and append an --out line)
+              every F seconds (default 1)
+  --out F     append one monitor JSONL line per refresh to F
+  --suspect F silence (in nominal session intervals) before a member is
+              suspect (default 3)
+  --dead F    silence before a member is dead (default 8)
   soak only:
   --nodes N   mesh size (default 3)
   --secs F    scripted phase seconds (default 6)
@@ -66,9 +106,13 @@ struct Args {
     texts: Vec<String>,
     duration: f64,
     trace: Option<String>,
+    trace_cap: Option<usize>,
     seed: Option<u64>,
     drop_data: Option<u64>,
     chaos: Option<String>,
+    stats_file: Option<String>,
+    stats_addr: Option<SocketAddr>,
+    stats_interval: f64,
     quiet: bool,
 }
 
@@ -84,6 +128,7 @@ fn parse_args() -> Args {
     let send_mode = match cmd.as_str() {
         "join" => false,
         "send" => true,
+        "monitor" => run_monitor(argv),
         "soak" => run_soak(argv),
         "-h" | "--help" => {
             println!("{USAGE}");
@@ -100,9 +145,13 @@ fn parse_args() -> Args {
     let mut texts = Vec::new();
     let mut duration = 10.0f64;
     let mut trace = None;
+    let mut trace_cap = None;
     let mut seed = None;
     let mut drop_data = None;
     let mut chaos = None;
+    let mut stats_file = None;
+    let mut stats_addr = None;
+    let mut stats_interval = 1.0f64;
     let mut quiet = false;
 
     let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -155,6 +204,29 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| die("--duration must be seconds"))
             }
             "--trace" => trace = Some(next(&mut argv, "--trace")),
+            "--trace-cap" => {
+                trace_cap = Some(
+                    next(&mut argv, "--trace-cap")
+                        .parse()
+                        .unwrap_or_else(|_| die("--trace-cap must be an integer")),
+                )
+            }
+            "--stats-file" => stats_file = Some(next(&mut argv, "--stats-file")),
+            "--stats-addr" => {
+                stats_addr = Some(
+                    next(&mut argv, "--stats-addr")
+                        .parse()
+                        .unwrap_or_else(|_| die("--stats-addr must be host:port")),
+                )
+            }
+            "--stats-interval" => {
+                stats_interval = next(&mut argv, "--stats-interval")
+                    .parse()
+                    .unwrap_or_else(|_| die("--stats-interval must be seconds"));
+                if stats_interval <= 0.0 {
+                    die("--stats-interval must be positive");
+                }
+            }
             "--seed" => {
                 seed = Some(
                     next(&mut argv, "--seed")
@@ -200,11 +272,178 @@ fn parse_args() -> Args {
         texts,
         duration,
         trace,
+        trace_cap,
         seed,
         drop_data,
         chaos,
+        stats_file,
+        stats_addr,
+        stats_interval,
         quiet,
     }
+}
+
+/// Open `path` truncated for incremental appends, or die.
+fn create_sink(path: &str) -> std::fs::File {
+    std::fs::File::create(path).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Parse the `monitor` subcommand's flags and run the passive observer:
+/// receive, decode, feed the [`GroupMonitor`], never send.  Exits 0 after
+/// `--duration` seconds (0 = run until killed).
+fn run_monitor(mut argv: impl Iterator<Item = String>) -> ! {
+    let mut bind: Option<SocketAddr> = None;
+    let mut mcast: Option<SocketAddr> = None;
+    let mut group = 1u32;
+    let mut members = 3usize;
+    let mut duration = 0.0f64;
+    let mut refresh = 1.0f64;
+    let mut out_path: Option<String> = None;
+    let mut liveness = LivenessConfig::default();
+    let mut quiet = false;
+    let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        argv.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--bind" => {
+                bind = Some(
+                    next(&mut argv, "--bind")
+                        .parse()
+                        .unwrap_or_else(|_| die("--bind must be host:port")),
+                )
+            }
+            "--mcast" => {
+                mcast = Some(
+                    next(&mut argv, "--mcast")
+                        .parse()
+                        .unwrap_or_else(|_| die("--mcast must be group-ip:port")),
+                )
+            }
+            "--group" => {
+                group = next(&mut argv, "--group")
+                    .parse()
+                    .unwrap_or_else(|_| die("--group must be an integer"))
+            }
+            "--members" => {
+                members = next(&mut argv, "--members")
+                    .parse()
+                    .unwrap_or_else(|_| die("--members must be an integer"))
+            }
+            "--duration" => {
+                duration = next(&mut argv, "--duration")
+                    .parse()
+                    .unwrap_or_else(|_| die("--duration must be seconds"))
+            }
+            "--refresh" => {
+                refresh = next(&mut argv, "--refresh")
+                    .parse()
+                    .unwrap_or_else(|_| die("--refresh must be seconds"));
+                if refresh <= 0.0 {
+                    die("--refresh must be positive");
+                }
+            }
+            "--out" => out_path = Some(next(&mut argv, "--out")),
+            "--suspect" => {
+                liveness.suspect_after = next(&mut argv, "--suspect")
+                    .parse()
+                    .unwrap_or_else(|_| die("--suspect must be a number"))
+            }
+            "--dead" => {
+                liveness.dead_after = next(&mut argv, "--dead")
+                    .parse()
+                    .unwrap_or_else(|_| die("--dead must be a number"))
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown monitor flag {other:?}")),
+        }
+    }
+    let bind = bind.unwrap_or_else(|| die("--bind is required"));
+    let socket = UdpSocket::bind(bind).unwrap_or_else(|e| die(&format!("cannot bind {bind}: {e}")));
+    if let Some(base) = mcast {
+        let SocketAddr::V4(base) = base else { die("--mcast must be an IPv4 group address") };
+        // Same group-id → group-address mapping the runtime uses.
+        let ip = Ipv4Addr::from(u32::from(*base.ip()).wrapping_add(group));
+        socket
+            .join_multicast_v4(&ip, &Ipv4Addr::UNSPECIFIED)
+            .unwrap_or_else(|e| die(&format!("cannot join {ip}: {e}")));
+    }
+    socket
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("read timeout is settable");
+
+    let clock = WallClock::new();
+    let cfg = SrmConfig::fixed(members);
+    let mut mon = GroupMonitor::new(&cfg, liveness);
+    let mut out = out_path.as_deref().map(create_sink);
+    eprintln!(
+        "srm-node: monitor on {bind} (group {group}), refresh {refresh:.1}s{}",
+        if duration > 0.0 { format!(", running {duration:.1}s") } else { String::new() }
+    );
+
+    let started = Instant::now();
+    let mut next_refresh = started + Duration::from_secs_f64(refresh);
+    let mut buf = [0u8; 65_535];
+    let mut decode_errors = 0u64;
+    loop {
+        match socket.recv_from(&mut buf) {
+            Ok((n, _)) => match Envelope::decode(&buf[..n]) {
+                Ok(env) if env.group == group => {
+                    match srm::Message::decode(env.payload.clone()) {
+                        Ok(msg) => {
+                            if let Some(tr) = mon.observe(clock.now(), &msg) {
+                                eprintln!("srm-node: monitor: m{} revived", tr.peer.0);
+                            }
+                        }
+                        Err(_) => decode_errors += 1,
+                    }
+                }
+                Ok(_) => {} // another group's traffic, not ours to judge
+                Err(_) => decode_errors += 1,
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => die(&format!("recv: {e}")),
+        }
+        if Instant::now() >= next_refresh {
+            next_refresh += Duration::from_secs_f64(refresh);
+            let now = clock.now();
+            for tr in mon.sweep(now) {
+                let state = match tr.to {
+                    srm::PeerState::Alive => "alive",
+                    srm::PeerState::Suspect => "suspect",
+                    srm::PeerState::Dead => "dead",
+                };
+                eprintln!("srm-node: monitor: m{} -> {state}", tr.peer.0);
+            }
+            if !quiet {
+                print!("{}", mon.render_table(now));
+            }
+            if let Some(f) = &mut out {
+                // Append-and-flush per refresh so a kill loses at most one
+                // interval.
+                let line = mon.to_json_line(now);
+                if writeln!(f, "{line}").and_then(|()| f.flush()).is_err() {
+                    die("monitor --out: write failed");
+                }
+            }
+        }
+        if duration > 0.0 && started.elapsed() >= Duration::from_secs_f64(duration) {
+            break;
+        }
+    }
+    if decode_errors > 0 {
+        eprintln!("srm-node: monitor: {decode_errors} undecodable datagram(s) ignored");
+    }
+    std::process::exit(0);
 }
 
 /// Parse the `soak` subcommand's flags, run the harness, print the report,
@@ -288,12 +527,27 @@ fn run_soak(mut argv: impl Iterator<Item = String>) -> ! {
     std::process::exit(if report.violations().is_empty() { 0 } else { 1 });
 }
 
+/// Default in-memory trace ring when `--trace` is on and `--trace-cap` is
+/// not given: enough for minutes of traffic, bounded against soaks.
+const DEFAULT_TRACE_CAP: usize = 65_536;
+
 fn main() {
     let args = parse_args();
     let source = SourceId(args.id);
     let cfg = SrmConfig::fixed(args.members);
     let mut opts = NodeOptions::new(source, GroupId(args.group), cfg);
     opts.trace = args.trace.is_some();
+    if opts.trace {
+        // 0 means unbounded — the simulator/golden mode.
+        opts.trace_capacity = match args.trace_cap {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(DEFAULT_TRACE_CAP),
+        };
+    }
+    let registry = (args.stats_file.is_some() || args.stats_addr.is_some())
+        .then(obs::MetricsRegistry::new);
+    opts.metrics = registry.clone();
     if let Some(s) = args.seed {
         opts.seed = s;
     }
@@ -333,32 +587,113 @@ fn main() {
         }
     }
 
+    // Stats emitter: one line (and/or one UDP exposition) per interval,
+    // flushed immediately so interruption loses at most one interval.
+    let stats_stop = Arc::new(AtomicBool::new(false));
+    let stats_thread = registry.clone().map(|reg| {
+        let stop = Arc::clone(&stats_stop);
+        let file_path = args.stats_file.clone();
+        let sink_addr = args.stats_addr;
+        let interval = Duration::from_secs_f64(args.stats_interval);
+        std::thread::spawn(move || {
+            let mut file = file_path.as_deref().map(create_sink);
+            let sock = sink_addr.map(|_| {
+                UdpSocket::bind("0.0.0.0:0").expect("ephemeral stats socket binds")
+            });
+            loop {
+                let stopping = stop.load(Ordering::Relaxed);
+                let snap = reg.snapshot();
+                if let Some(f) = &mut file {
+                    let _ = writeln!(f, "{}", snap.to_json_line()).and_then(|()| f.flush());
+                }
+                if let (Some(s), Some(addr)) = (&sock, sink_addr) {
+                    let _ = s.send_to(snap.render_prometheus("srm").as_bytes(), addr);
+                }
+                if stopping {
+                    // That snapshot was the final, post-shutdown one.
+                    return;
+                }
+                // Sleep in short slices so shutdown emits promptly.
+                let until = Instant::now() + interval;
+                while Instant::now() < until && !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        })
+    });
+
+    let mut trace_sink = args.trace.as_deref().map(create_sink);
+    let mut trace_events = 0usize;
+    // Drain the reactor's trace rings into the file roughly once a second.
+    let drain_trace = |node: &srm_transport::NodeHandle,
+                           sink: &mut Option<std::fs::File>,
+                           total: &mut usize| {
+        let Some(f) = sink.as_mut() else { return };
+        let (member, events, transport) =
+            node.exec(|a, _| (a.id.0, a.obs.take_events(), a.transport_obs.take_events()));
+        let mut tl = obs::Timeline::new();
+        tl.add_member(member, events);
+        tl.add_transport(member, transport);
+        if tl.is_empty() {
+            return;
+        }
+        *total += tl.len();
+        if write!(f, "{}", tl.to_jsonl()).and_then(|()| f.flush()).is_err() {
+            eprintln!("srm-node: trace write failed");
+        }
+    };
+
     let deadline = Instant::now() + Duration::from_secs_f64(args.duration.max(0.0));
+    let mut next_drain = Instant::now() + Duration::from_secs(1);
+    // Joiners follow the first page they see (the whiteboard model): their
+    // session messages then report that page's state, which both drives
+    // the group's gap detection and gives a passive monitor its lag signal.
+    let mut following = args.send_mode;
     while Instant::now() < deadline {
         for d in node.take_delivered() {
+            if !following {
+                following = true;
+                let page = d.name.page;
+                node.exec(move |a, _| a.set_current_page(page));
+            }
             if !args.quiet {
                 let text = String::from_utf8_lossy(&d.payload);
                 let how = if d.via_repair { "repair" } else { "data" };
                 println!("{} [{how}] {text}", d.name);
             }
         }
+        if Instant::now() >= next_drain {
+            next_drain += Duration::from_secs(1);
+            drain_trace(&node, &mut trace_sink, &mut trace_events);
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
 
+    // Final trace drain while the reactor still answers exec.
+    drain_trace(&node, &mut trace_sink, &mut trace_events);
     let mut agent = node.shutdown();
     let m = &agent.metrics;
     eprintln!(
         "srm-node: done — data_sent={} requests_sent={} repairs_sent={} session_sent={}",
         m.data_sent, m.requests_sent, m.repairs_sent, m.session_sent
     );
-    if let Some(path) = args.trace {
+    if let Some(f) = &mut trace_sink {
+        // Whatever accumulated between the last drain and shutdown.
         let tl = srm_transport::harvest_timeline(std::slice::from_mut(&mut agent));
-        match std::fs::write(&path, tl.to_jsonl()) {
-            Ok(()) => eprintln!("srm-node: trace: wrote {} events to {path}", tl.len()),
-            Err(e) => {
-                eprintln!("srm-node: {path}: {e}");
-                std::process::exit(1);
-            }
+        trace_events += tl.len();
+        if write!(f, "{}", tl.to_jsonl()).and_then(|()| f.flush()).is_err() {
+            eprintln!("srm-node: trace write failed");
+            std::process::exit(1);
         }
+        eprintln!(
+            "srm-node: trace: wrote {} events to {}",
+            trace_events,
+            args.trace.as_deref().unwrap_or("-")
+        );
+    }
+    if let Some(t) = stats_thread {
+        stats_stop.store(true, Ordering::Relaxed);
+        let _ = t.join();
+        eprintln!("srm-node: stats: final snapshot flushed");
     }
 }

@@ -48,6 +48,7 @@ pub mod chaos;
 pub mod clock;
 pub mod envelope;
 pub mod harness;
+pub mod monitor;
 pub mod runtime;
 pub mod soak;
 pub mod supervise;
@@ -57,6 +58,7 @@ pub use chaos::{parse_spec, ChaosPlan, ChaosState, ChaosTally, ChaosTransport, D
 pub use clock::WallClock;
 pub use envelope::{Envelope, EnvelopeError};
 pub use harness::{harvest_summary, harvest_timeline, Harness};
+pub use monitor::{GroupMonitor, MemberHealth};
 pub use runtime::{LossPolicy, Mode, Node, NodeHandle, NodeOptions, TransportStats};
 pub use soak::{SoakOptions, SoakReport};
 pub use supervise::{

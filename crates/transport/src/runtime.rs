@@ -180,6 +180,17 @@ pub struct NodeOptions {
     pub session_enabled: bool,
     /// Enable the obs event recorders (recovery + transport) from the start.
     pub trace: bool,
+    /// Ring capacity for the obs recorders when `trace` is on: `Some(cap)`
+    /// keeps the most recent `cap` events per recorder (with a dropped
+    /// count), `None` keeps everything.  Long live runs should bound this;
+    /// golden-trace runs must not.
+    pub trace_capacity: Option<usize>,
+    /// Live metrics registry.  When set, the reactor updates hot-path
+    /// counters/gauges/histograms (frames by kind, stage latencies, queue
+    /// depths, chaos/supervision/liveness mirrors) that a stats emitter can
+    /// snapshot concurrently.  `None` (the default, and always in simulator
+    /// runs) costs one branch per instrumented site.
+    pub metrics: Option<obs::MetricsRegistry>,
     /// Pre-seeded distance estimates (assumed-converged state, as the
     /// figure experiments use). Live session messages refine them.
     pub initial_distances: Vec<(SourceId, SimDuration)>,
@@ -211,6 +222,8 @@ impl NodeOptions {
             seed: 0x5EED_0000 ^ id.0,
             session_enabled: true,
             trace: false,
+            trace_capacity: None,
+            metrics: None,
             initial_distances: Vec::new(),
             skew: SimDuration::ZERO,
             loss: LossPolicy::none(),
@@ -225,6 +238,112 @@ impl NodeOptions {
 /// Salt mixed into the node seed to derive the chaos RNG, keeping the chaos
 /// draw stream independent of the protocol's timer draws.
 const CHAOS_SEED_SALT: u64 = 0xC4A0_5EED_0BAD_CA5E;
+
+/// Flow-kind labels indexed by [`flow_slot`]; the last slot collects flows
+/// outside the four the protocol defines.
+const FLOW_KINDS: [&str; 5] = ["data", "request", "repair", "session", "other"];
+
+/// Map a wire flow label to a `FLOW_KINDS` slot.
+fn flow_slot(flow: u32) -> usize {
+    (flow as usize).min(FLOW_KINDS.len() - 1)
+}
+
+/// Reactor-side cached registry handles: resolved once at spawn so the hot
+/// path is one relaxed atomic op per update, no name lookups.
+struct RegHandles {
+    /// Frames accepted from the socket, by flow kind.
+    rx: [obs::Counter; 5],
+    /// recv-thread capture → reactor dequeue.
+    stage_queue: obs::Histo,
+    /// Reactor dequeue → envelope decoded.
+    stage_decode: obs::Histo,
+    /// Agent handling time per inbound packet (`drive_packet`).
+    stage_handle: obs::Histo,
+    // Mirrors of the shared atomic counters, refreshed on every reactor
+    // iteration so snapshots are complete without reaching into the handle.
+    frames_attempted: obs::Counter,
+    frames_sent: obs::Counter,
+    frames_dropped: obs::Counter,
+    frames_received: obs::Counter,
+    blackholed: obs::Counter,
+    send_errors: obs::Counter,
+    decode_errors: obs::Counter,
+    chaos_dropped: obs::Counter,
+    chaos_duplicated: obs::Counter,
+    chaos_delayed: obs::Counter,
+    chaos_corrupted: obs::Counter,
+    recv_transient_errors: obs::Counter,
+    recv_respawns: obs::Counter,
+    recv_deaths: obs::Counter,
+    mode_fallbacks: obs::Counter,
+    liveness_suspected: obs::Counter,
+    liveness_died: obs::Counter,
+    liveness_revived: obs::Counter,
+    wheel_depth: obs::Gauge,
+    wheel_high_water: obs::Gauge,
+    delayq_depth: obs::Gauge,
+    delayq_high_water: obs::Gauge,
+    peers_alive: obs::Gauge,
+    peers_suspect: obs::Gauge,
+    peers_dead: obs::Gauge,
+}
+
+impl RegHandles {
+    fn new(reg: &obs::MetricsRegistry) -> Self {
+        let rx = FLOW_KINDS.map(|k| reg.counter(&format!("rx.frames.{k}")));
+        RegHandles {
+            rx,
+            stage_queue: reg.histogram("stage.queue_s"),
+            stage_decode: reg.histogram("stage.decode_s"),
+            stage_handle: reg.histogram("stage.handle_s"),
+            frames_attempted: reg.counter("frames.attempted"),
+            frames_sent: reg.counter("frames.sent"),
+            frames_dropped: reg.counter("frames.dropped"),
+            frames_received: reg.counter("frames.received"),
+            blackholed: reg.counter("frames.blackholed"),
+            send_errors: reg.counter("frames.send_errors"),
+            decode_errors: reg.counter("rx.decode_errors"),
+            chaos_dropped: reg.counter("chaos.dropped"),
+            chaos_duplicated: reg.counter("chaos.duplicated"),
+            chaos_delayed: reg.counter("chaos.delayed"),
+            chaos_corrupted: reg.counter("chaos.corrupted"),
+            recv_transient_errors: reg.counter("recv.transient_errors"),
+            recv_respawns: reg.counter("recv.respawns"),
+            recv_deaths: reg.counter("recv.deaths"),
+            mode_fallbacks: reg.counter("mode.fallbacks"),
+            liveness_suspected: reg.counter("liveness.suspected"),
+            liveness_died: reg.counter("liveness.died"),
+            liveness_revived: reg.counter("liveness.revived"),
+            wheel_depth: reg.gauge("wheel.depth"),
+            wheel_high_water: reg.gauge("wheel.high_water"),
+            delayq_depth: reg.gauge("delayq.depth"),
+            delayq_high_water: reg.gauge("delayq.high_water"),
+            peers_alive: reg.gauge("peers.alive"),
+            peers_suspect: reg.gauge("peers.suspect"),
+            peers_dead: reg.gauge("peers.dead"),
+        }
+    }
+}
+
+/// Send-side registry handles, held by [`Outbound`].
+struct OutMetrics {
+    /// Logical multicasts by flow kind (pre fan-out; the per-destination
+    /// totals live in `frames.*`).
+    tx: [obs::Counter; 5],
+    /// Encode + fan-out time per logical multicast.
+    stage_send: obs::Histo,
+    clock: WallClock,
+}
+
+impl OutMetrics {
+    fn new(reg: &obs::MetricsRegistry, clock: WallClock) -> Self {
+        OutMetrics {
+            tx: FLOW_KINDS.map(|k| reg.counter(&format!("tx.frames.{k}"))),
+            stage_send: reg.histogram("stage.send_s"),
+            clock,
+        }
+    }
+}
 
 /// Counters shared between the runtime and its [`NodeHandle`].
 #[derive(Debug, Default)]
@@ -338,6 +457,8 @@ struct Outbound {
     /// Reused datagram scratch: the envelope is serialized here for each
     /// send, so steady-state sending allocates nothing per datagram.
     scratch: Vec<u8>,
+    /// Live-registry handles for the send path; `None` costs one branch.
+    metrics: Option<OutMetrics>,
 }
 
 /// One per-destination attempt: the single place every outgoing frame's
@@ -423,6 +544,10 @@ impl Outbound {
                     log,
                 );
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.tx[flow_slot(opts.flow)].inc();
+            m.stage_send.record(m.clock.now().since(now).as_secs_f64());
         }
     }
 
@@ -521,8 +646,9 @@ type ExecFn = Box<dyn FnOnce(&mut SrmAgent, &mut dyn Driver) + Send>;
 
 /// Work items the reactor waits on.
 enum Event {
-    /// A raw datagram from the receive thread.
-    Datagram(Vec<u8>),
+    /// A raw datagram from the receive thread, stamped with its capture
+    /// time so the reactor can account the queueing stage.
+    Datagram(SimTime, Vec<u8>),
     /// A typed transport event from the receive thread's supervisor.
     Transport(SimTime, obs::TransportEventKind),
     /// Run a closure against the agent (the wall-clock analogue of
@@ -626,6 +752,7 @@ fn run_recv_supervised(
             sock.set_read_timeout(Some(RECV_POLL))?;
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
+            let step_clock = clock.clone();
             let mut buf = vec![0u8; 64 * 1024];
             Ok(move || -> io::Result<StepOutcome> {
                 if stop.load(Ordering::Relaxed) {
@@ -633,7 +760,7 @@ fn run_recv_supervised(
                 }
                 match sock.recv_from(&mut buf) {
                     Ok((n, _from)) => {
-                        if tx.send(Event::Datagram(buf[..n].to_vec())).is_err() {
+                        if tx.send(Event::Datagram(step_clock.now(), buf[..n].to_vec())).is_err() {
                             return Ok(StepOutcome::Stop);
                         }
                         Ok(StepOutcome::Continue)
@@ -729,7 +856,9 @@ fn run_reactor(
         counters: Arc::clone(&counters),
         log: obs::TransportLog::new(),
         scratch: Vec::new(),
+        metrics: opts.metrics.as_ref().map(|r| OutMetrics::new(r, clock.clone())),
     };
+    let reg = opts.metrics.as_ref().map(RegHandles::new);
     let mut chaos = opts
         .chaos
         .map(|plan| ChaosState::new(plan, opts.seed ^ CHAOS_SEED_SALT));
@@ -740,10 +869,20 @@ fn run_reactor(
     let mut agent = SrmAgent::new(opts.id, opts.group, opts.cfg);
     agent.session_enabled = opts.session_enabled;
     if opts.trace {
-        agent.obs.enable();
-        agent.transport_obs.enable();
-        out.log.enable();
-        chaos_log.enable();
+        match opts.trace_capacity {
+            Some(cap) => {
+                agent.obs.enable_bounded(cap);
+                agent.transport_obs.enable_bounded(cap);
+                out.log.enable_bounded(cap);
+                chaos_log.enable_bounded(cap);
+            }
+            None => {
+                agent.obs.enable();
+                agent.transport_obs.enable();
+                out.log.enable();
+                chaos_log.enable();
+            }
+        }
     }
     if let Some(lv) = opts.liveness {
         agent.liveness.enable(lv);
@@ -799,7 +938,7 @@ fn run_reactor(
         while let Some(held) = delayq.pop_due(clock.now()) {
             out.send(clock.now(), held.group, held.payload, held.opts);
         }
-        publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len());
+        publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness);
         let deadline = match (wheel.next_deadline(), delayq.next_due()) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -809,7 +948,14 @@ fn run_reactor(
             None => IDLE_WAIT,
         };
         match rx.recv_timeout(wait) {
-            Ok(Event::Datagram(buf)) => {
+            Ok(Event::Datagram(recv_at, buf)) => {
+                // Stage clocks: one extra clock read per stage, only when a
+                // registry is attached.
+                let dequeued = reg.as_ref().map(|m| {
+                    let now = clock.now();
+                    m.stage_queue.record(now.since(recv_at).as_secs_f64());
+                    now
+                });
                 let env = match Envelope::decode(&buf) {
                     Ok(env) => env,
                     Err(e) => {
@@ -831,6 +977,9 @@ fn run_reactor(
                         continue;
                     }
                 };
+                if let (Some(m), Some(t0)) = (reg.as_ref(), dequeued) {
+                    m.stage_decode.record(clock.now().since(t0).as_secs_f64());
+                }
                 // Self-delivery (multicast loopback echo) and traffic for
                 // groups we have not joined are the network's job to
                 // withhold in the simulator; filter them here.
@@ -838,6 +987,9 @@ fn run_reactor(
                     continue;
                 }
                 counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = reg.as_ref() {
+                    m.rx[flow_slot(env.flow)].inc();
+                }
                 rx_seq += 1;
                 let pkt = Packet::new(
                     // One observable hop on a mesh; real multicast hop
@@ -856,7 +1008,11 @@ fn run_reactor(
                         payload: env.payload.clone(),
                     },
                 );
+                let handle_t0 = reg.as_ref().map(|_| clock.now());
                 with_driver!(|d| agent.drive_packet(d, &pkt));
+                if let (Some(m), Some(t0)) = (reg.as_ref(), handle_t0) {
+                    m.stage_handle.record(clock.now().since(t0).as_secs_f64());
+                }
             }
             Ok(Event::Transport(at, kind)) => {
                 out.log.record(at, kind);
@@ -866,9 +1022,17 @@ fn run_reactor(
             Err(mpsc::RecvTimeoutError::Timeout) => {}
         }
     }
-    publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len());
-    // Merge the reactor-side logs into the agent's transport stream, so one
-    // per-member event sequence survives harvesting.
+    publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness);
+    // Pin the queue peaks into the offline event stream (no-op when the log
+    // is disabled), then merge the reactor-side logs into the agent's
+    // transport stream so one per-member event sequence survives harvesting.
+    out.log.record(
+        clock.now(),
+        obs::TransportEventKind::QueueHighWater {
+            wheel: counters.max_wheel_len.load(Ordering::Relaxed),
+            delayq: counters.max_delayq_len.load(Ordering::Relaxed),
+        },
+    );
     let mut extra = out.log.take_events();
     extra.extend(chaos_log.take_events());
     agent.transport_obs.absorb(extra);
@@ -876,12 +1040,15 @@ fn run_reactor(
 }
 
 /// Publish the reactor-owned tallies and high-water marks to the shared
-/// atomic counters (the tallies are cumulative, so a store is correct).
+/// atomic counters (the tallies are cumulative, so a store is correct),
+/// and refresh the registry mirrors when one is attached.
 fn publish_reactor_counters(
     counters: &Counters,
     tally: &ChaosTally,
     wheel_len: usize,
     delayq_len: usize,
+    reg: Option<&RegHandles>,
+    liveness: &srm::PeerLiveness,
 ) {
     counters.chaos_dropped.store(tally.dropped, Ordering::Relaxed);
     counters.chaos_duplicated.store(tally.duplicated, Ordering::Relaxed);
@@ -889,6 +1056,35 @@ fn publish_reactor_counters(
     counters.chaos_corrupted.store(tally.corrupted, Ordering::Relaxed);
     counters.max_wheel_len.fetch_max(wheel_len as u64, Ordering::Relaxed);
     counters.max_delayq_len.fetch_max(delayq_len as u64, Ordering::Relaxed);
+    let Some(m) = reg else { return };
+    // Every mirrored source is itself cumulative, so `set_total` keeps the
+    // registry's counters monotone (snapshot deltas stay restart-aware).
+    m.frames_attempted.set_total(counters.frames_attempted.load(Ordering::Relaxed));
+    m.frames_sent.set_total(counters.frames_sent.load(Ordering::Relaxed));
+    m.frames_dropped.set_total(counters.frames_dropped.load(Ordering::Relaxed));
+    m.frames_received.set_total(counters.frames_received.load(Ordering::Relaxed));
+    m.blackholed.set_total(counters.blackholed.load(Ordering::Relaxed));
+    m.send_errors.set_total(counters.send_errors.load(Ordering::Relaxed));
+    m.decode_errors.set_total(counters.decode_errors.load(Ordering::Relaxed));
+    m.chaos_dropped.set_total(tally.dropped);
+    m.chaos_duplicated.set_total(tally.duplicated);
+    m.chaos_delayed.set_total(tally.delayed);
+    m.chaos_corrupted.set_total(tally.corrupted);
+    m.recv_transient_errors.set_total(counters.recv_transient_errors.load(Ordering::Relaxed));
+    m.recv_respawns.set_total(counters.recv_respawns.load(Ordering::Relaxed));
+    m.recv_deaths.set_total(counters.recv_deaths.load(Ordering::Relaxed));
+    m.mode_fallbacks.set_total(counters.mode_fallbacks.load(Ordering::Relaxed));
+    m.liveness_suspected.set_total(liveness.suspected_total);
+    m.liveness_died.set_total(liveness.died_total);
+    m.liveness_revived.set_total(liveness.revived_total);
+    m.wheel_depth.set(wheel_len as u64);
+    m.wheel_high_water.set(counters.max_wheel_len.load(Ordering::Relaxed));
+    m.delayq_depth.set(delayq_len as u64);
+    m.delayq_high_water.set(counters.max_delayq_len.load(Ordering::Relaxed));
+    let (alive, suspect, dead) = liveness.counts();
+    m.peers_alive.set(alive);
+    m.peers_suspect.set(suspect);
+    m.peers_dead.set(dead);
 }
 
 /// Client handle to a running node; drop (or [`NodeHandle::shutdown`])

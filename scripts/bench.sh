@@ -31,6 +31,15 @@ fi
 
 echo "== scale macro-benchmark =="
 cargo build --release -p srm-bench --bin scale
+
+# Metrics-overhead guard: the obs registry hooks are compiled into the
+# transport and simulator hot paths but disabled by default (a single
+# branch when off). Before refreshing BENCH_4.json, prove the instrumented
+# build still lands within 1.25x of the committed numbers.
+if [ -f BENCH_4.json ]; then
+  echo "== metrics-overhead guard (instrumented build vs committed BENCH_4.json) =="
+  ./target/release/scale check --against BENCH_4.json --tolerance 1.25
+fi
 MERGE=()
 if [ -f BENCH_4.json ]; then
   MERGE=(--merge-baseline BENCH_4.json)

@@ -30,6 +30,25 @@ echo "== soak smoke (bounded chaos run, invariant gate; DESIGN.md §9) =="
 timeout 60 ./target/release/srm-node soak --nodes 3 --secs 3 --adus 2 --seed 7 \
     --chaos "loss=0.1,dup=0.05,reorder=0.15:30ms,jitter=20ms,burst=0.9@1s+1.5s,blackhole=2@1s+1.5s"
 
+echo "== metrics + monitor loopback (registry snapshots, passive group health) =="
+cargo test -q -p srm-transport --test metrics_monitor
+
+echo "== monitor smoke (stats + monitor JSONL end-to-end, schema-validated) =="
+cargo build --release -p srm-experiments
+./target/release/srm-node send --id 1 --bind 127.0.0.1:7611 \
+    --peers 127.0.0.1:7612,127.0.0.1:7619 --members 2 --duration 4 \
+    --text ci-smoke --quiet \
+    --stats-file target/ci_stats.jsonl --stats-interval 0.5 &
+SEND_PID=$!
+./target/release/srm-node join --id 2 --bind 127.0.0.1:7612 \
+    --peers 127.0.0.1:7611,127.0.0.1:7619 --members 2 --duration 4 --quiet &
+JOIN_PID=$!
+timeout 30 ./target/release/srm-node monitor --bind 127.0.0.1:7619 \
+    --members 2 --duration 5 --refresh 0.5 --quiet --out target/ci_monitor.jsonl
+wait $SEND_PID $JOIN_PID
+./target/release/srm-experiments monitor \
+    --monitor target/ci_monitor.jsonl --stats target/ci_stats.jsonl --validate
+
 echo "== golden trace (observability JSONL pins) =="
 cargo test -q --test golden_trace
 
