@@ -16,8 +16,9 @@
 //! Subcommands:
 //!
 //! ```text
-//! scale run      [--quick] [--out FILE] [--merge-baseline FILE] [--label S]
-//! scale check    --against FILE [--tolerance R] [--quick]
+//! scale run        [--quick] [--out FILE] [--merge-baseline FILE] [--label S]
+//! scale check      --against FILE [--tolerance R] [--quick]
+//! scale durability [--tolerance R] [--quick]
 //! scale validate FILE
 //! ```
 //!
@@ -28,8 +29,12 @@
 //! (best of five repetitions, so only a regression every repetition
 //! reproduces can fire) and fails with exit 1 if any benchmark regressed
 //! more than `tolerance` (default 1.25×) against the report's `benches`
-//! section — the CI regression gate. `validate` is the structural schema
-//! check with no measuring.
+//! section — the CI regression gate. `durability` is the WAL-overhead
+//! guard: it runs the Fig-4 round with a durable store attached to every
+//! member (in-memory backend, so pure CPU overhead: framing, CRC,
+//! indexing) against the plain in-memory round, and fails if the ratio
+//! exceeds `tolerance`. `validate` is the structural schema check with no
+//! measuring.
 
 use bytes::Bytes;
 use netsim::generators::bounded_degree_tree;
@@ -278,6 +283,60 @@ fn fmt2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// One timed batch of Fig-4 recovery rounds, optionally with a durable
+/// store (in-memory backend, default WAL tuning) attached to every member
+/// so each delivered ADU takes the encode + CRC + index append path.
+fn fig4_round_ms(durable: bool, iters: u64) -> f64 {
+    let mut s = fig4::spec(50, 1, SrmConfig::fixed(50)).build();
+    if durable {
+        for m in s.members.clone() {
+            s.sim.app_mut(m).expect("installed").attach_durable_store(
+                Box::new(srm_store::DurableStore::new(
+                    Box::new(srm_store::MemBackend::new()),
+                    srm_store::StoreConfig::default(),
+                )),
+                None,
+            );
+        }
+    }
+    // Warm-up round outside the timed window.
+    run_round(&mut s, 100_000.0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = run_round(&mut s, 100_000.0);
+        assert!(r.all_recovered, "fig4 durability round failed to recover");
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// The WAL-append overhead gate: durability-on Fig-4 rounds must stay
+/// within `tolerance`× of durability-off. Interleaved best-of-3 per mode
+/// (the same skew argument as `check`).
+fn durability(tolerance: f64, quick: bool) -> i32 {
+    let iters: u64 = if quick { 8 } else { 24 };
+    let mut plain = f64::INFINITY;
+    let mut durable = f64::INFINITY;
+    for rep in 0..3 {
+        eprintln!("scale durability: repetition {}/3...", rep + 1);
+        plain = plain.min(fig4_round_ms(false, iters));
+        durable = durable.min(fig4_round_ms(true, iters));
+    }
+    let ratio = durable / plain;
+    if ratio > tolerance {
+        eprintln!(
+            "scale durability: REGRESSION fig4 round: {:.3} ms durable vs {:.3} ms plain ({}x > {}x budget)",
+            durable, plain, fmt2(ratio), tolerance
+        );
+        1
+    } else {
+        eprintln!(
+            "scale durability: ok — fig4 round {:.3} ms durable vs {:.3} ms plain ({}x ≤ {}x budget)",
+            durable, plain, fmt2(ratio), tolerance
+        );
+        0
+    }
+}
+
 /// Structural validation of a report file: schema tag, non-empty benches,
 /// and every entry carrying the fields `check` would need. No measuring.
 fn validate(path: &str) -> i32 {
@@ -327,7 +386,7 @@ fn validate(path: &str) -> i32 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  scale run [--quick] [--out FILE] [--merge-baseline FILE] [--label S]\n  scale check --against FILE [--tolerance R] [--quick]\n  scale validate FILE"
+        "usage:\n  scale run [--quick] [--out FILE] [--merge-baseline FILE] [--label S]\n  scale check --against FILE [--tolerance R] [--quick]\n  scale durability [--tolerance R] [--quick]\n  scale validate FILE"
     );
     std::process::exit(2);
 }
@@ -396,6 +455,9 @@ fn main() {
         "check" => {
             let Some(against) = against else { usage() };
             std::process::exit(check(&against, tolerance, quick));
+        }
+        "durability" => {
+            std::process::exit(durability(tolerance, quick));
         }
         "validate" => {
             let Some(file) = file else { usage() };

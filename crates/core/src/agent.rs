@@ -872,9 +872,16 @@ impl SrmAgent {
         };
         self.repair_timers.remove(&name);
         st.timer = None;
-        let Some(payload) = self.store.get(&name) else {
-            return; // evicted since the request arrived
+        // Read through the cache: an ADU evicted from RAM but durable in
+        // the log is still served (disk-backed repair).
+        let disk_before = self.store.disk_fetches();
+        let Some(payload) = self.store.fetch(&name) else {
+            return; // evicted since the request arrived, and not durable
         };
+        if self.store.disk_fetches() > disk_before {
+            self.transport_obs
+                .record(ctx.now(), obs::TransportEventKind::StoreDiskRepair);
+        }
         let had_event = st.first_repair_event_at.is_some();
         st.on_timer_expired(ctx.now());
         if !had_event {
@@ -1300,11 +1307,14 @@ impl SrmAgent {
         self.transport_obs.record(at, kind);
     }
 
-    /// The member's host crashed: full protocol state loss.
+    /// The member's host crashed: full loss of *volatile* protocol state.
     ///
-    /// Rebuilds from scratch, carrying over only the
-    /// identity, configuration, and the observer-side metrics (the
-    /// experiment is watching the crash, the member is not).
+    /// Rebuilds from scratch, carrying over only the identity,
+    /// configuration, and the observer-side metrics (the experiment is
+    /// watching the crash, the member is not). If a durability layer is
+    /// attached it survives too — but first its own [`crate::store::Persistence::crash`]
+    /// runs, dropping whatever was appended and never synced, so the log
+    /// holds exactly what real stable storage would after a power cut.
     pub fn drive_crash(&mut self) {
         let mut metrics = std::mem::take(&mut self.metrics);
         metrics.drop_inflight();
@@ -1312,6 +1322,10 @@ impl SrmAgent {
         let obs = std::mem::take(&mut self.obs);
         let transport_obs = std::mem::take(&mut self.transport_obs);
         let liveness = std::mem::take(&mut self.liveness);
+        let persistence = self.store.take_persistence();
+        let cache_per_stream = self.store.cache_per_stream;
+        let evictions = self.store.evictions;
+        let disk_fetches = self.store.disk_fetches;
         let session_enabled = self.session_enabled;
         *self = SrmAgent::new(self.id, self.group, self.cfg.clone());
         self.session_enabled = session_enabled;
@@ -1319,20 +1333,94 @@ impl SrmAgent {
         self.obs = obs;
         self.transport_obs = transport_obs;
         self.liveness = liveness;
+        if let Some(mut p) = persistence {
+            p.crash();
+            self.store.cache_per_stream = cache_per_stream;
+            self.store.evictions = evictions;
+            self.store.disk_fetches = disk_fetches;
+            self.store.attach_persistence(p);
+        }
     }
 
     /// The member's host came back up after a crash.
     ///
-    /// Rejoin as a late joiner (§III-A): learn which pages exist, then
-    /// chase their state. `rejoining` lifts the own-source guards so we
-    /// recover even our own pre-crash stream from the group.
+    /// A durable member first replays its log: the page catalog, high-water
+    /// marks, and own-stream sequence counters come back from stable
+    /// storage, so it restarts as a repair-capable peer — the PR 1
+    /// full-state-loss behavior applies only when no backend is attached.
+    /// Either way the member then rejoins as a late joiner (§III-A):
+    /// `rejoining` lifts the own-source guards so the unsynced tail (and
+    /// anything published while it was down) is chased from the group.
     pub fn drive_restart(&mut self, ctx: &mut dyn Driver) {
+        if self.store.has_persistence() {
+            if let Some(summary) = self.store.rehydrate() {
+                self.resume_from_rehydrate(&summary);
+                self.transport_obs.record(
+                    ctx.now(),
+                    obs::TransportEventKind::StoreRehydrate {
+                        adus: summary.names.len() as u64,
+                        segments: summary.segments,
+                        truncated_bytes: summary.truncated_bytes,
+                    },
+                );
+            }
+        }
         self.rejoining = true;
         ctx.join(self.group);
         if self.session_enabled {
             self.schedule_session(ctx);
         }
         self.request_page_catalog(ctx);
+    }
+
+    /// Attach a durability layer to the ADU store and replay it
+    /// immediately. This is the single rehydrate path: the wall-clock
+    /// runtime calls it at startup (`srm-node --store`) and the
+    /// fault-injected simulator reaches the same code through
+    /// [`SrmAgent::drive_restart`].
+    ///
+    /// `cache_per_stream` bounds the in-memory payload cache (spill to the
+    /// log beyond it); `None` keeps everything resident while still
+    /// logging. Returns the replay summary.
+    pub fn attach_durable_store(
+        &mut self,
+        p: Box<dyn crate::store::Persistence>,
+        cache_per_stream: Option<usize>,
+    ) -> crate::store::Rehydrated {
+        self.store.cache_per_stream = cache_per_stream;
+        self.store.attach_persistence(p);
+        let summary = self.store.rehydrate().expect("persistence just attached");
+        self.resume_from_rehydrate(&summary);
+        summary
+    }
+
+    /// Resume volatile state implied by a rehydrated catalog: our own
+    /// streams' next sequence numbers continue after the highest durable
+    /// ADU, so a restarted source never reuses a name for different data
+    /// (up to the last fsync; an unsynced own tail is additionally fenced
+    /// by the session state learned while `rejoining`).
+    fn resume_from_rehydrate(&mut self, summary: &crate::store::Rehydrated) {
+        // Resume viewing the page we were last working on (the log's final
+        // append): session messages then advertise the rehydrated state,
+        // which is what lets peers detect and request what they missed
+        // while we were down.
+        if let Some(last) = summary.last_appended {
+            self.current_page = last.page;
+        }
+        for name in &summary.names {
+            if name.source != self.id {
+                continue;
+            }
+            let next = self.next_seq.entry(name.page).or_insert(SeqNo::ZERO);
+            if name.seq.next() > *next {
+                *next = name.seq.next();
+            }
+        }
+    }
+
+    /// Force the durable store onto stable storage (clean shutdown).
+    pub fn flush_store(&mut self) {
+        self.store.flush();
     }
 
     /// A packet addressed to a group this member has joined arrived.

@@ -96,5 +96,5 @@ pub use config::{AdaptiveConfig, RateLimit, RecoveryScope, SrmConfig, TimerParam
 pub use metrics::{AgentMetrics, FaultEpisode, RecoveryRecord, RepairRecord};
 pub use name::{AduName, PageId, SeqNo, SourceId};
 pub use observe::{enable_tracing, harvest_summary, harvest_timeline};
-pub use store::AduStore;
+pub use store::{AduStore, Persistence, PersistenceStats, Rehydrated};
 pub use wire::{Body, DataBody, Header, Message, RequestBody, SessionBody, WireError};

@@ -9,87 +9,291 @@
 //! "This does not require that all session members keep all of the data all
 //! of the time" — a retention limit can evict old ADUs; reliability only
 //! needs each item to survive *somewhere* in the session.
+//!
+//! # Durability
+//!
+//! The store optionally sits on top of a [`Persistence`] layer (implemented
+//! by the `srm-store` crate's write-ahead log). When attached:
+//!
+//! * every fresh insert is also appended to the log before it is visible;
+//! * a bounded in-memory cache ([`AduStore::cache_per_stream`]) evicts the
+//!   oldest payloads from RAM while keeping their *names* in a per-stream
+//!   durable set, so `has`/gap detection still answer correctly;
+//! * [`AduStore::fetch`] reads through to disk for evicted names, which is
+//!   how repair requests older than the memory window are served;
+//! * [`AduStore::rehydrate`] replays the log after a restart, rebuilding the
+//!   page catalog so a crashed member rejoins as a repair-capable peer.
+//!
+//! With no persistence attached (the default everywhere), behavior is
+//! byte-identical to the purely in-memory store.
 
 use crate::name::{AduName, PageId, SeqNo, SourceId};
 use bytes::Bytes;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters a [`Persistence`] implementation reports about itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistenceStats {
+    /// Records appended to the write-ahead log.
+    pub appends: u64,
+    /// Bytes appended (framing included).
+    pub bytes_appended: u64,
+    /// Physical syncs issued to the backing store.
+    pub fsyncs: u64,
+    /// Snapshot/compaction passes completed.
+    pub snapshots: u64,
+    /// Payloads read back from the log (disk-served fetches).
+    pub reads: u64,
+    /// Live segments in the log right now.
+    pub segments: u64,
+    /// Distinct ADU records live in the log right now.
+    pub live_records: u64,
+    /// Backend I/O failures (the affected record is not marked durable).
+    pub io_errors: u64,
+}
+
+/// Summary of a completed [`Persistence::rehydrate`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct Rehydrated {
+    /// Every durable ADU name recovered from the log, ascending.
+    pub names: Vec<AduName>,
+    /// Bytes dropped from the log tail because the final record was torn
+    /// or failed its checksum.
+    pub truncated_bytes: u64,
+    /// Segments replayed.
+    pub segments: u64,
+    /// The most recently *appended* surviving ADU (log order, not name
+    /// order): what the member was working on when it went down. Restores
+    /// the viewed page so the restarted member's session messages
+    /// advertise the rehydrated state.
+    pub last_appended: Option<AduName>,
+}
+
+/// A durability backend beneath [`AduStore`]: an append-only log of named
+/// ADUs that survives the process.
+///
+/// The contract mirrors SRM's naming bet: a name always refers to the same
+/// data, so the log never needs updates — only appends, reads, and
+/// wholesale compaction. Implementations live in the `srm-store` crate
+/// (real files and a deterministic in-memory backend for the simulator);
+/// this trait lives here so the agent core never depends on them.
+pub trait Persistence: std::fmt::Debug + Send {
+    /// Durably record `payload` under `name`. Called once per fresh
+    /// insert; returns `false` if the record could not be appended (the
+    /// caller then treats the ADU as memory-only).
+    fn persist(&mut self, name: AduName, payload: &Bytes) -> bool;
+
+    /// Read back a payload previously persisted. `None` if the name is not
+    /// in the log (or its record was lost to a torn tail).
+    fn read(&mut self, name: &AduName) -> Option<Bytes>;
+
+    /// Force everything appended so far onto stable storage (clean
+    /// shutdown; stronger than the configured fsync policy).
+    fn flush(&mut self);
+
+    /// Model process death: drop whatever was appended but never synced and
+    /// forget all in-memory state. The next [`Persistence::rehydrate`]
+    /// must rebuild purely from what survived on stable storage.
+    fn crash(&mut self);
+
+    /// Replay the log from stable storage: rebuild the internal index,
+    /// truncate any torn tail, and report every recovered name.
+    fn rehydrate(&mut self) -> Rehydrated;
+
+    /// Self-reported counters.
+    fn stats(&self) -> PersistenceStats;
+}
 
 /// One `(source, page)` stream.
 #[derive(Clone, Debug, Default)]
 struct Stream {
-    /// Received payloads by sequence number.
+    /// Received payloads by sequence number (the in-memory cache when a
+    /// persistence layer is attached).
     data: BTreeMap<SeqNo, Bytes>,
+    /// Sequence numbers whose payloads are held durably by the persistence
+    /// layer (possibly evicted from `data`). Empty without persistence.
+    durable: BTreeSet<SeqNo>,
     /// Highest sequence number known to exist (from data or session
     /// messages), even if not yet received.
     highest_known: Option<SeqNo>,
 }
 
+impl Stream {
+    /// Is the payload for `seq` recoverable (RAM or disk)?
+    fn holds(&self, seq: &SeqNo) -> bool {
+        self.data.contains_key(seq) || self.durable.contains(seq)
+    }
+}
+
 /// Per-member data store.
-#[derive(Clone, Debug)]
+#[derive(Debug, Default)]
 pub struct AduStore {
     streams: BTreeMap<(SourceId, PageId), Stream>,
     /// If set, keep at most this many ADUs per stream, evicting the lowest
     /// sequence numbers first.
     pub retention_per_stream: Option<usize>,
+    /// With persistence attached: keep at most this many *payloads* per
+    /// stream in RAM; older ones spill to the log and are re-read on
+    /// demand by [`AduStore::fetch`]. Ignored without persistence.
+    pub cache_per_stream: Option<usize>,
     /// Upper bound on how many missing names a single sequence-number jump
     /// may enumerate. A corrupt (or hostile) packet claiming seq 2⁶²
     /// would otherwise make gap detection materialize billions of request
     /// states; with the cap, only the *newest* `gap_cap` holes are chased.
     /// Legitimate gaps are orders of magnitude smaller.
     pub gap_cap: u64,
-}
-
-impl Default for AduStore {
-    fn default() -> Self {
-        AduStore {
-            streams: BTreeMap::new(),
-            retention_per_stream: None,
-            gap_cap: 4096,
-        }
-    }
+    /// Optional durability layer; see the module docs.
+    persistence: Option<Box<dyn Persistence>>,
+    /// Payloads evicted from RAM to the log (spills). Crate-visible so a
+    /// crash/restart cycle can carry the lifetime counter across the
+    /// agent reset, like the agent's own metrics.
+    pub(crate) evictions: u64,
+    /// Fetches served by reading the log instead of RAM (see
+    /// [`AduStore::evictions`] on crate visibility).
+    pub(crate) disk_fetches: u64,
 }
 
 impl AduStore {
     /// Empty store with unlimited retention.
     pub fn new() -> Self {
-        Self::default()
+        AduStore {
+            streams: BTreeMap::new(),
+            retention_per_stream: None,
+            cache_per_stream: None,
+            gap_cap: 4096,
+            persistence: None,
+            evictions: 0,
+            disk_fetches: 0,
+        }
+    }
+
+    /// Attach a durability layer. Existing in-memory contents are *not*
+    /// retroactively persisted; attach before inserting (or right after
+    /// construction, which is what the agent does).
+    pub fn attach_persistence(&mut self, p: Box<dyn Persistence>) {
+        self.persistence = Some(p);
+    }
+
+    /// Detach and return the durability layer (crash handling: the log
+    /// outlives the agent's in-memory state).
+    pub fn take_persistence(&mut self) -> Option<Box<dyn Persistence>> {
+        self.persistence.take()
+    }
+
+    /// Is a durability layer attached?
+    pub fn has_persistence(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// The durability layer's self-reported counters, if attached.
+    pub fn persistence_stats(&self) -> Option<PersistenceStats> {
+        self.persistence.as_ref().map(|p| p.stats())
+    }
+
+    /// Payloads spilled from RAM to the log so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Fetches served from the log instead of RAM so far.
+    pub fn disk_fetches(&self) -> u64 {
+        self.disk_fetches
+    }
+
+    /// Force the durability layer onto stable storage (clean shutdown).
+    pub fn flush(&mut self) {
+        if let Some(p) = self.persistence.as_mut() {
+            p.flush();
+        }
+    }
+
+    /// Replay the attached log and rebuild the page catalog from it:
+    /// every recovered name becomes durable (payload stays on disk until
+    /// fetched) and per-stream high-water marks resume at the highest
+    /// recovered sequence. Returns the replay summary, or `None` without
+    /// persistence.
+    pub fn rehydrate(&mut self) -> Option<Rehydrated> {
+        let summary = self.persistence.as_mut()?.rehydrate();
+        for name in &summary.names {
+            let s = self.streams.entry((name.source, name.page)).or_default();
+            s.durable.insert(name.seq);
+            if s.highest_known.is_none_or(|h| name.seq > h) {
+                s.highest_known = Some(name.seq);
+            }
+        }
+        Some(summary)
     }
 
     /// Insert a payload under `name`. Returns `true` if it was new.
     ///
     /// Re-insertion under the same name is idempotent and keeps the first
-    /// payload: "the name always refers to the same data".
+    /// payload: "the name always refers to the same data". A name already
+    /// durable on disk (even if evicted from RAM) counts as held.
     pub fn insert(&mut self, name: AduName, payload: Bytes) -> bool {
+        let cache_limit = match (&self.persistence, self.cache_per_stream) {
+            (Some(_), Some(cache)) => Some(cache),
+            _ => self.retention_per_stream,
+        };
+        let has_persistence = self.persistence.is_some();
         let s = self.streams.entry((name.source, name.page)).or_default();
-        let fresh = !s.data.contains_key(&name.seq);
+        let fresh = !s.data.contains_key(&name.seq) && !s.durable.contains(&name.seq);
         if fresh {
+            if let Some(p) = self.persistence.as_mut() {
+                if p.persist(name, &payload) {
+                    s.durable.insert(name.seq);
+                }
+            }
             s.data.insert(name.seq, payload);
             if s.highest_known.is_none_or(|h| name.seq > h) {
                 s.highest_known = Some(name.seq);
             }
-            if let Some(limit) = self.retention_per_stream {
+            if let Some(limit) = cache_limit {
                 while s.data.len() > limit {
                     let oldest = *s.data.keys().next().expect("nonempty");
                     s.data.remove(&oldest);
+                    if has_persistence {
+                        self.evictions += 1;
+                    }
                 }
             }
         }
         fresh
     }
 
-    /// Do we hold the payload for `name`?
+    /// Do we hold the payload for `name` — in RAM or durably on disk?
     pub fn has(&self, name: &AduName) -> bool {
         self.streams
             .get(&(name.source, name.page))
-            .is_some_and(|s| s.data.contains_key(&name.seq))
+            .is_some_and(|s| s.holds(&name.seq))
     }
 
-    /// Retrieve the payload for `name`, if held.
+    /// Retrieve the payload for `name` from RAM, if cached. Does not touch
+    /// the durability layer; use [`AduStore::fetch`] to read through.
     pub fn get(&self, name: &AduName) -> Option<Bytes> {
         self.streams
             .get(&(name.source, name.page))
             .and_then(|s| s.data.get(&name.seq))
             .cloned()
+    }
+
+    /// Retrieve the payload for `name`, reading through to the durability
+    /// layer when it has been evicted from (or never entered) RAM. Fetched
+    /// payloads are returned without re-warming the cache: repair sends are
+    /// one-shot and re-caching would churn the eviction window.
+    pub fn fetch(&mut self, name: &AduName) -> Option<Bytes> {
+        if let Some(b) = self.get(name) {
+            return Some(b);
+        }
+        let durable = self
+            .streams
+            .get(&(name.source, name.page))
+            .is_some_and(|s| s.durable.contains(&name.seq));
+        if !durable {
+            return None;
+        }
+        let b = self.persistence.as_mut()?.read(name)?;
+        self.disk_fetches += 1;
+        Some(b)
     }
 
     /// Record that sequence numbers up to `seq` exist on `(source, page)`
@@ -120,7 +324,7 @@ impl AduStore {
         }
         (start..=seq.0)
             .map(SeqNo)
-            .filter(|q| !s.data.contains_key(q))
+            .filter(|q| !s.holds(q))
             .map(|q| AduName::new(source, page, q))
             .collect()
     }
@@ -141,7 +345,7 @@ impl AduStore {
             if let Some(h) = s.highest_known {
                 let start = (h.0 + 1).saturating_sub(self.gap_cap);
                 for q in start..=h.0 {
-                    if !s.data.contains_key(&SeqNo(q)) {
+                    if !s.holds(&SeqNo(q)) {
                         out.push(AduName::new(*src, *pg, SeqNo(q)));
                     }
                 }
@@ -168,9 +372,19 @@ impl AduStore {
         pages
     }
 
-    /// Count of ADUs held across all streams.
+    /// Count of ADUs held in RAM across all streams.
     pub fn len(&self) -> usize {
         self.streams.values().map(|s| s.data.len()).sum()
+    }
+
+    /// Count of ADUs recoverable across all streams: cached in RAM or
+    /// durable on disk (union, not sum — cached ADUs are usually durable
+    /// too).
+    pub fn recoverable_len(&self) -> usize {
+        self.streams
+            .values()
+            .map(|s| s.data.keys().filter(|q| !s.durable.contains(q)).count() + s.durable.len())
+            .sum()
     }
 
     /// True if nothing is held.
@@ -191,6 +405,40 @@ mod tests {
 
     fn n(seq: u64) -> AduName {
         AduName::new(SRC, page(), SeqNo(seq))
+    }
+
+    /// Minimal in-memory Persistence for unit-testing the store's
+    /// read-through and eviction plumbing (the real WAL lives in
+    /// `srm-store`).
+    #[derive(Debug, Default)]
+    struct FakeLog {
+        records: BTreeMap<AduName, Bytes>,
+        stats: PersistenceStats,
+    }
+
+    impl Persistence for FakeLog {
+        fn persist(&mut self, name: AduName, payload: &Bytes) -> bool {
+            self.records.insert(name, payload.clone());
+            self.stats.appends += 1;
+            true
+        }
+        fn read(&mut self, name: &AduName) -> Option<Bytes> {
+            self.stats.reads += 1;
+            self.records.get(name).cloned()
+        }
+        fn flush(&mut self) {}
+        fn crash(&mut self) {}
+        fn rehydrate(&mut self) -> Rehydrated {
+            Rehydrated {
+                names: self.records.keys().copied().collect(),
+                truncated_bytes: 0,
+                segments: 1,
+                last_appended: self.records.keys().next_back().copied(),
+            }
+        }
+        fn stats(&self) -> PersistenceStats {
+            self.stats
+        }
     }
 
     #[test]
@@ -289,5 +537,47 @@ mod tests {
         st.insert(AduName::new(SRC, p1, SeqNo(0)), Bytes::new());
         st.insert(AduName::new(SourceId(9), p1, SeqNo(0)), Bytes::new());
         assert_eq!(st.known_pages(), vec![p0, p1]);
+    }
+
+    #[test]
+    fn spill_eviction_keeps_name_and_fetch_reads_through() {
+        let mut st = AduStore::new();
+        st.cache_per_stream = Some(2);
+        st.attach_persistence(Box::<FakeLog>::default());
+        st.insert(n(0), Bytes::from_static(b"zero"));
+        st.insert(n(1), Bytes::from_static(b"one"));
+        st.insert(n(2), Bytes::from_static(b"two"));
+        // Seq 0 spilled: not in RAM, but still *held* and fetchable.
+        assert_eq!(st.get(&n(0)), None);
+        assert!(st.has(&n(0)));
+        assert_eq!(st.fetch(&n(0)).unwrap(), Bytes::from_static(b"zero"));
+        assert_eq!(st.evictions(), 1);
+        assert_eq!(st.disk_fetches(), 1);
+        // Gap detection does not consider a spilled ADU missing.
+        assert!(st.note_exists(SRC, page(), SeqNo(2)).is_empty());
+        assert!(st.missing_on_page(page()).is_empty());
+        // A repair arriving for a spilled name is a duplicate, not fresh.
+        assert!(!st.insert(n(0), Bytes::from_static(b"imposter")));
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.recoverable_len(), 3);
+    }
+
+    #[test]
+    fn rehydrate_rebuilds_catalog_without_warming_cache() {
+        let mut log = FakeLog::default();
+        log.records.insert(n(0), Bytes::from_static(b"zero"));
+        log.records.insert(n(3), Bytes::from_static(b"three"));
+        let mut st = AduStore::new();
+        st.attach_persistence(Box::new(log));
+        let summary = st.rehydrate().unwrap();
+        assert_eq!(summary.names, vec![n(0), n(3)]);
+        // Catalog is back (names + high water), payloads stay on disk.
+        assert!(st.has(&n(0)) && st.has(&n(3)));
+        assert_eq!(st.len(), 0);
+        assert_eq!(st.recoverable_len(), 2);
+        assert_eq!(st.highest_known(SRC, page()), Some(SeqNo(3)));
+        // The holes between recovered names are still chased.
+        assert_eq!(st.missing_on_page(page()), vec![n(1), n(2)]);
+        assert_eq!(st.fetch(&n(3)).unwrap(), Bytes::from_static(b"three"));
     }
 }

@@ -191,11 +191,11 @@ impl RunSummary {
     /// Render the transport table alone (chaos / supervision / liveness /
     /// queue peaks).
     pub fn render_transport(&self) -> String {
-        const HEADERS: [&str; 13] = [
+        const HEADERS: [&str; 14] = [
             "member", "chdrop", "chdup", "chdelay", "chcorrupt", "blackhole", "sockerr",
-            "respawn", "decerr", "suspect", "dead", "wheelhw", "delayqhw",
+            "respawn", "decerr", "suspect", "dead", "wheelhw", "delayqhw", "diskrep",
         ];
-        let mut rows: Vec<[String; 13]> = Vec::new();
+        let mut rows: Vec<[String; 14]> = Vec::new();
         let mut sorted = self.transport.clone();
         sorted.sort_by_key(|t| t.member);
         let mut total = TransportSummary::new(0);
@@ -210,6 +210,7 @@ impl RunSummary {
             total.decode_errors += t.decode_errors;
             total.peers_suspected += t.peers_suspected;
             total.peers_died += t.peers_died;
+            total.disk_repairs += t.disk_repairs;
             // High-water marks are peaks, not flows: the total row shows the
             // worst node, not a meaningless sum.
             total.wheel_hw = total.wheel_hw.max(t.wheel_hw);
@@ -218,7 +219,7 @@ impl RunSummary {
         }
         rows.push(transport_row("total", &total));
 
-        let mut widths: [usize; 13] = [0; 13];
+        let mut widths: [usize; 14] = [0; 14];
         for (i, h) in HEADERS.iter().enumerate() {
             widths[i] = h.len();
         }
@@ -248,7 +249,7 @@ impl RunSummary {
     }
 }
 
-fn transport_row(label: &str, t: &TransportSummary) -> [String; 13] {
+fn transport_row(label: &str, t: &TransportSummary) -> [String; 14] {
     [
         label.to_string(),
         t.chaos_dropped.to_string(),
@@ -263,6 +264,7 @@ fn transport_row(label: &str, t: &TransportSummary) -> [String; 13] {
         t.peers_died.to_string(),
         t.wheel_hw.to_string(),
         t.delayq_hw.to_string(),
+        t.disk_repairs.to_string(),
     ]
 }
 

@@ -104,6 +104,19 @@ pub enum TransportEventKind {
         /// The peer's member id.
         peer: u64,
     },
+    /// The durable ADU store was replayed after a restart: the member
+    /// rejoined with its page catalog rebuilt from the write-ahead log.
+    StoreRehydrate {
+        /// ADU records recovered from the log.
+        adus: u64,
+        /// Log segments replayed.
+        segments: u64,
+        /// Bytes dropped from the log tail (torn or corrupt final record).
+        truncated_bytes: u64,
+    },
+    /// A repair was served by reading the payload back from the durable
+    /// store — the ADU had been evicted from (or never re-entered) RAM.
+    StoreDiskRepair,
 }
 
 impl TransportEventKind {
@@ -124,6 +137,8 @@ impl TransportEventKind {
             TransportEventKind::PeerAlive { .. } => "peer_alive",
             TransportEventKind::PeerSuspect { .. } => "peer_suspect",
             TransportEventKind::PeerDead { .. } => "peer_dead",
+            TransportEventKind::StoreRehydrate { .. } => "store_rehydrate",
+            TransportEventKind::StoreDiskRepair => "store_disk_repair",
         }
     }
 
@@ -167,6 +182,13 @@ impl TransportEventKind {
             | TransportEventKind::PeerDead { peer } => {
                 let _ = write!(out, ",\"peer\":{peer}");
             }
+            TransportEventKind::StoreRehydrate { adus, segments, truncated_bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"adus\":{adus},\"segments\":{segments},\"truncated_bytes\":{truncated_bytes}"
+                );
+            }
+            TransportEventKind::StoreDiskRepair => {}
         }
     }
 }
@@ -335,6 +357,8 @@ pub struct TransportSummary {
     pub wheel_hw: u64,
     /// Peak chaos DelayQueue length over the reactor's lifetime.
     pub delayq_hw: u64,
+    /// Repairs served by reading the durable store instead of RAM.
+    pub disk_repairs: u64,
 }
 
 impl TransportSummary {
@@ -365,9 +389,11 @@ impl TransportSummary {
                     s.wheel_hw = s.wheel_hw.max(*wheel);
                     s.delayq_hw = s.delayq_hw.max(*delayq);
                 }
+                TransportEventKind::StoreDiskRepair => s.disk_repairs += 1,
                 TransportEventKind::RecvExit { .. }
                 | TransportEventKind::ModeFallback { .. }
-                | TransportEventKind::PeerAlive { .. } => {}
+                | TransportEventKind::PeerAlive { .. }
+                | TransportEventKind::StoreRehydrate { .. } => {}
             }
         }
         s

@@ -1,0 +1,42 @@
+//! # srm-store — durable ADU storage beneath `srm::store`
+//!
+//! SRM's core bet is that *persistently named* ADUs let any member
+//! reconstruct and re-serve session state from any point (paper §II).
+//! This crate makes the name literal: a segmented, CRC-framed write-ahead
+//! log of `(source, page, seq) → payload` records that survives the
+//! process, so
+//!
+//! * a killed `srm-node` **rehydrates** on restart and rejoins as a
+//!   repair-capable member instead of a blank late joiner,
+//! * repair requests older than the in-memory window are served **from
+//!   disk** ([`srm::AduStore::fetch`] reads through the cache), and
+//! * resident memory stops growing with session length — old payloads
+//!   spill to the log and stay recoverable.
+//!
+//! The pieces:
+//!
+//! * [`record`] — `[u32 len][u32 crc32][u8 kind][body]` framing; a torn or
+//!   bit-flipped record cleanly ends the valid prefix.
+//! * [`backend`] — segment storage as a trait: [`DirBackend`] (real files,
+//!   `srm-node --store DIR`) and [`MemBackend`] (deterministic in-memory
+//!   disk with crash/tear/corrupt hooks for the fault-injected simulator).
+//! * [`durable`] — [`DurableStore`], the WAL itself: append, fsync policy,
+//!   segment rotation, snapshot-as-compaction, torn-tail truncation, and
+//!   replay. It implements [`srm::Persistence`], the seam `srm::AduStore`
+//!   reads and writes through.
+//!
+//! Durability is **off by default** everywhere: no simulator scenario,
+//! golden trace, figure CSV, or benchmark changes unless a backend is
+//! explicitly attached.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+mod crc;
+pub mod durable;
+pub mod record;
+
+pub use backend::{Backend, DirBackend, MemBackend};
+pub use crc::crc32;
+pub use durable::{DurableStore, FsyncPolicy, StoreConfig, StoreProbes};

@@ -32,11 +32,23 @@
 //! are flushed per interval, `--trace` chunks are drained from the reactor
 //! and appended roughly once a second, and `monitor --out` flushes per
 //! refresh. Killing the process (SIGINT included) loses at most the last
-//! partial interval.
+//! partial interval. For an *orderly* early exit, type `quit` on stdin:
+//! the node leaves the session before `--duration`, drains every sink,
+//! and flushes the WAL, losing nothing at all.
+//!
+//! ## Durability
+//!
+//! `--store DIR` appends every ADU this node holds to a CRC-framed
+//! write-ahead log under DIR and replays it on the next start, so a
+//! killed member restarts repair-capable instead of blank. Repairs for
+//! payloads evicted from the in-memory cache (`--store-cache`) are
+//! served from the log.
 
 use bytes::Bytes;
 use netsim::GroupId;
-use srm_transport::{Envelope, GroupMonitor, Mode, Node, NodeOptions, SoakOptions, WallClock};
+use srm_transport::{
+    Envelope, GroupMonitor, Mode, Node, NodeOptions, SoakOptions, StoreOptions, WallClock,
+};
 use srm::{LivenessConfig, PageId, SourceId, SrmConfig};
 use std::io::Write as _;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
@@ -49,7 +61,8 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
                 [--group N] [--members N] [--text STRING]... [--duration SECS]
                 [--trace FILE] [--trace-cap N] [--seed N] [--chaos SPEC]
                 [--stats-file FILE] [--stats-addr ADDR] [--stats-interval F]
-                [--quiet]
+                [--store DIR] [--fsync always|never|every=N]
+                [--store-cache N] [--snapshot-every N] [--quiet]
        srm-node monitor --bind ADDR [--mcast ADDR] [--group N] [--members N]
                 [--duration SECS] [--refresh F] [--out FILE]
                 [--suspect F] [--dead F] [--quiet]
@@ -83,6 +96,15 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
   --stats-addr A    send a Prometheus-style text exposition to UDP A
               every --stats-interval seconds
   --stats-interval  seconds between metric snapshots (default 1)
+  --store DIR durable ADU store: log every ADU to a write-ahead log under
+              DIR and rehydrate it on the next start, so a killed member
+              restarts repair-capable (off by default)
+  --fsync P   WAL fsync policy: always, never, or every=N (default every=8)
+  --store-cache N   keep at most N payloads per stream in RAM; older
+              repairs are served from the log (default: keep all resident)
+  --snapshot-every N  compact the log every N appends (0 = never)
+  Typing `quit` on stdin leaves the session early but cleanly: sinks
+  drain and the WAL flushes before exit.
   monitor only:
   --refresh F render the group-health table (and append an --out line)
               every F seconds (default 1)
@@ -113,6 +135,7 @@ struct Args {
     stats_file: Option<String>,
     stats_addr: Option<SocketAddr>,
     stats_interval: f64,
+    store: Option<StoreOptions>,
     quiet: bool,
 }
 
@@ -152,6 +175,10 @@ fn parse_args() -> Args {
     let mut stats_file = None;
     let mut stats_addr = None;
     let mut stats_interval = 1.0f64;
+    let mut store_dir: Option<String> = None;
+    let mut fsync: Option<String> = None;
+    let mut store_cache: Option<usize> = None;
+    let mut snapshot_every: Option<u64> = None;
     let mut quiet = false;
 
     let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -242,6 +269,24 @@ fn parse_args() -> Args {
                 )
             }
             "--chaos" => chaos = Some(next(&mut argv, "--chaos")),
+            "--store" => store_dir = Some(next(&mut argv, "--store")),
+            "--fsync" => fsync = Some(next(&mut argv, "--fsync")),
+            "--store-cache" => {
+                let n: usize = next(&mut argv, "--store-cache")
+                    .parse()
+                    .unwrap_or_else(|_| die("--store-cache must be an integer"));
+                if n == 0 {
+                    die("--store-cache must be at least 1");
+                }
+                store_cache = Some(n);
+            }
+            "--snapshot-every" => {
+                snapshot_every = Some(
+                    next(&mut argv, "--snapshot-every")
+                        .parse()
+                        .unwrap_or_else(|_| die("--snapshot-every must be an integer")),
+                )
+            }
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -262,6 +307,27 @@ fn parse_args() -> Args {
     if send_mode && texts.is_empty() {
         die("send needs at least one --text");
     }
+    let store = match store_dir {
+        Some(dir) => {
+            let mut so = StoreOptions::new(dir);
+            if let Some(p) = &fsync {
+                so.config.fsync =
+                    srm_store::FsyncPolicy::parse(p).unwrap_or_else(|e| die(&format!("--fsync: {e}")));
+            }
+            if let Some(n) = snapshot_every {
+                // 0 disables snapshot-triggered compaction entirely.
+                so.config.snapshot_every = (n > 0).then_some(n);
+            }
+            so.cache_per_stream = store_cache;
+            Some(so)
+        }
+        None => {
+            if fsync.is_some() || store_cache.is_some() || snapshot_every.is_some() {
+                die("--fsync/--store-cache/--snapshot-every require --store DIR");
+            }
+            None
+        }
+    };
     Args {
         send_mode,
         id,
@@ -279,6 +345,7 @@ fn parse_args() -> Args {
         stats_file,
         stats_addr,
         stats_interval,
+        store,
         quiet,
     }
 }
@@ -566,6 +633,7 @@ fn main() {
         // Chaos without liveness tracking hides half the story.
         opts.liveness = Some(srm::LivenessConfig::default());
     }
+    opts.store = args.store.clone();
 
     let node = match Node::spawn(args.bind, args.mode, opts) {
         Ok(n) => n,
@@ -643,13 +711,42 @@ fn main() {
         }
     };
 
+    // `quit` on stdin requests an orderly early exit: the main loop ends,
+    // sinks drain, and shutdown flushes the WAL — nothing is lost. EOF
+    // alone does NOT quit (scripts often run nodes with stdin closed), so
+    // the reader thread just parks until the process exits.
+    let quit = Arc::new(AtomicBool::new(false));
+    {
+        let quit = Arc::clone(&quit);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match stdin.read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {
+                        let cmd = line.trim();
+                        if cmd.eq_ignore_ascii_case("quit") || cmd.eq_ignore_ascii_case("q") {
+                            quit.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        if !cmd.is_empty() {
+                            eprintln!("srm-node: unknown stdin command {cmd:?} (try `quit`)");
+                        }
+                    }
+                }
+            }
+        });
+    }
+
     let deadline = Instant::now() + Duration::from_secs_f64(args.duration.max(0.0));
     let mut next_drain = Instant::now() + Duration::from_secs(1);
     // Joiners follow the first page they see (the whiteboard model): their
     // session messages then report that page's state, which both drives
     // the group's gap detection and gives a passive monitor its lag signal.
     let mut following = args.send_mode;
-    while Instant::now() < deadline {
+    while Instant::now() < deadline && !quit.load(Ordering::Relaxed) {
         for d in node.take_delivered() {
             if !following {
                 following = true;
@@ -669,6 +766,9 @@ fn main() {
         std::thread::sleep(Duration::from_millis(50));
     }
 
+    if quit.load(Ordering::Relaxed) {
+        eprintln!("srm-node: quit — leaving the session cleanly");
+    }
     // Final trace drain while the reactor still answers exec.
     drain_trace(&node, &mut trace_sink, &mut trace_events);
     let mut agent = node.shutdown();
@@ -677,6 +777,12 @@ fn main() {
         "srm-node: done — data_sent={} requests_sent={} repairs_sent={} session_sent={}",
         m.data_sent, m.requests_sent, m.repairs_sent, m.session_sent
     );
+    if let Some(ps) = agent.store().persistence_stats() {
+        eprintln!(
+            "srm-node: store — appends={} bytes={} fsyncs={} snapshots={} disk_reads={} segments={} live={}",
+            ps.appends, ps.bytes_appended, ps.fsyncs, ps.snapshots, ps.reads, ps.segments, ps.live_records
+        );
+    }
     if let Some(f) = &mut trace_sink {
         // Whatever accumulated between the last drain and shutdown.
         let tl = srm_transport::harvest_timeline(std::slice::from_mut(&mut agent));

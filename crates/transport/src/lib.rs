@@ -59,7 +59,7 @@ pub use clock::WallClock;
 pub use envelope::{Envelope, EnvelopeError};
 pub use harness::{harvest_summary, harvest_timeline, Harness};
 pub use monitor::{GroupMonitor, MemberHealth};
-pub use runtime::{LossPolicy, Mode, Node, NodeHandle, NodeOptions, TransportStats};
+pub use runtime::{LossPolicy, Mode, Node, NodeHandle, NodeOptions, StoreOptions, TransportStats};
 pub use soak::{SoakOptions, SoakReport};
 pub use supervise::{
     classify, run_supervised, ErrorClass, ExitReason, StepOutcome, SupervisePolicy,

@@ -67,6 +67,7 @@ use srm::agent::Delivery;
 use std::collections::BTreeSet;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -208,6 +209,36 @@ pub struct NodeOptions {
     /// disables the fallback (join failures are logged and the node stays
     /// in multicast mode, deaf to groups it could not join).
     pub fallback_peers: Vec<SocketAddr>,
+    /// Durable ADU store (`srm-node --store DIR`). When set, the reactor
+    /// opens the write-ahead log before the agent starts, rehydrates any
+    /// existing contents (restart-after-crash), reads repairs through the
+    /// bounded cache, and flushes on clean shutdown. `None` (the default)
+    /// keeps the agent purely in-memory.
+    pub store: Option<StoreOptions>,
+}
+
+/// Durable-store configuration for one node.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Directory holding the WAL segments (created if missing).
+    pub dir: PathBuf,
+    /// WAL tuning: fsync policy, segment size, snapshot cadence.
+    pub config: srm_store::StoreConfig,
+    /// Keep at most this many payloads per stream in RAM; older ones are
+    /// served from the log. `None` keeps everything resident (still
+    /// logged).
+    pub cache_per_stream: Option<usize>,
+}
+
+impl StoreOptions {
+    /// Defaults for `dir`: default WAL tuning, unbounded cache.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreOptions {
+            dir: dir.into(),
+            config: srm_store::StoreConfig::default(),
+            cache_per_stream: None,
+        }
+    }
 }
 
 impl NodeOptions {
@@ -231,6 +262,7 @@ impl NodeOptions {
             liveness: None,
             supervision: SupervisePolicy::default(),
             fallback_peers: Vec::new(),
+            store: None,
         }
     }
 }
@@ -286,6 +318,18 @@ struct RegHandles {
     peers_alive: obs::Gauge,
     peers_suspect: obs::Gauge,
     peers_dead: obs::Gauge,
+    // Durable-store mirrors (all zero unless `--store` is active; latency
+    // histograms are recorded at the operation site via StoreProbes).
+    store_appends: obs::Counter,
+    store_bytes: obs::Counter,
+    store_fsyncs: obs::Counter,
+    store_snapshots: obs::Counter,
+    store_reads: obs::Counter,
+    store_io_errors: obs::Counter,
+    store_evictions: obs::Counter,
+    store_disk_repairs: obs::Counter,
+    store_segments: obs::Gauge,
+    store_live_records: obs::Gauge,
 }
 
 impl RegHandles {
@@ -321,6 +365,16 @@ impl RegHandles {
             peers_alive: reg.gauge("peers.alive"),
             peers_suspect: reg.gauge("peers.suspect"),
             peers_dead: reg.gauge("peers.dead"),
+            store_appends: reg.counter("store.wal_appends"),
+            store_bytes: reg.counter("store.wal_bytes"),
+            store_fsyncs: reg.counter("store.fsyncs"),
+            store_snapshots: reg.counter("store.snapshots"),
+            store_reads: reg.counter("store.reads"),
+            store_io_errors: reg.counter("store.io_errors"),
+            store_evictions: reg.counter("store.evictions"),
+            store_disk_repairs: reg.counter("store.disk_repairs"),
+            store_segments: reg.gauge("store.segments"),
+            store_live_records: reg.gauge("store.live_records"),
         }
     }
 }
@@ -890,6 +944,42 @@ fn run_reactor(
     for (peer, d) in opts.initial_distances {
         agent.distances_mut().set_distance(peer, d);
     }
+    if let Some(sto) = opts.store {
+        match srm_store::DirBackend::open(&sto.dir) {
+            Ok(backend) => {
+                let mut ds = srm_store::DurableStore::new(Box::new(backend), sto.config);
+                if let Some(r) = opts.metrics.as_ref() {
+                    ds.set_probes(srm_store::StoreProbes::from_registry(r));
+                }
+                // The single rehydrate path: a restart after kill -9 replays
+                // the log here, so the node rejoins repair-capable.
+                let summary = agent.attach_durable_store(Box::new(ds), sto.cache_per_stream);
+                agent.transport_obs.record(
+                    clock.now(),
+                    obs::TransportEventKind::StoreRehydrate {
+                        adus: summary.names.len() as u64,
+                        segments: summary.segments,
+                        truncated_bytes: summary.truncated_bytes,
+                    },
+                );
+                if !summary.names.is_empty() || summary.truncated_bytes > 0 {
+                    eprintln!(
+                        "srm-node[{}]: rehydrated {} ADUs from {} ({} segments, {} torn bytes dropped)",
+                        out.src,
+                        summary.names.len(),
+                        sto.dir.display(),
+                        summary.segments,
+                        summary.truncated_bytes,
+                    );
+                }
+            }
+            Err(e) => eprintln!(
+                "srm-node[{}]: could not open store {}: {e} (running without durability)",
+                out.src,
+                sto.dir.display()
+            ),
+        }
+    }
 
     // Bind a driver name for one statement: the chaos decorator when a plan
     // is configured, the plain wall-clock driver otherwise. Built per entry
@@ -938,7 +1028,7 @@ fn run_reactor(
         while let Some(held) = delayq.pop_due(clock.now()) {
             out.send(clock.now(), held.group, held.payload, held.opts);
         }
-        publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness);
+        publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness, agent.store());
         let deadline = match (wheel.next_deadline(), delayq.next_due()) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -1022,7 +1112,10 @@ fn run_reactor(
             Err(mpsc::RecvTimeoutError::Timeout) => {}
         }
     }
-    publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness);
+    // Clean shutdown: force the WAL tail onto stable storage so an orderly
+    // exit loses nothing regardless of the fsync policy.
+    agent.flush_store();
+    publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness, agent.store());
     // Pin the queue peaks into the offline event stream (no-op when the log
     // is disabled), then merge the reactor-side logs into the agent's
     // transport stream so one per-member event sequence survives harvesting.
@@ -1049,6 +1142,7 @@ fn publish_reactor_counters(
     delayq_len: usize,
     reg: Option<&RegHandles>,
     liveness: &srm::PeerLiveness,
+    store: &srm::AduStore,
 ) {
     counters.chaos_dropped.store(tally.dropped, Ordering::Relaxed);
     counters.chaos_duplicated.store(tally.duplicated, Ordering::Relaxed);
@@ -1085,6 +1179,18 @@ fn publish_reactor_counters(
     m.peers_alive.set(alive);
     m.peers_suspect.set(suspect);
     m.peers_dead.set(dead);
+    if let Some(st) = store.persistence_stats() {
+        m.store_appends.set_total(st.appends);
+        m.store_bytes.set_total(st.bytes_appended);
+        m.store_fsyncs.set_total(st.fsyncs);
+        m.store_snapshots.set_total(st.snapshots);
+        m.store_reads.set_total(st.reads);
+        m.store_io_errors.set_total(st.io_errors);
+        m.store_evictions.set_total(store.evictions());
+        m.store_disk_repairs.set_total(store.disk_fetches());
+        m.store_segments.set(st.segments);
+        m.store_live_records.set(st.live_records);
+    }
 }
 
 /// Client handle to a running node; drop (or [`NodeHandle::shutdown`])

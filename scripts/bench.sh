@@ -40,6 +40,12 @@ if [ -f BENCH_4.json ]; then
   echo "== metrics-overhead guard (instrumented build vs committed BENCH_4.json) =="
   ./target/release/scale check --against BENCH_4.json --tolerance 1.25
 fi
+
+# WAL-overhead guard: a durable store attached to every member (in-memory
+# backend, so pure framing/CRC/index cost) must keep the Fig-4 recovery
+# round within 1.25x of the plain in-memory round.
+echo "== WAL-overhead guard (fig4 round, durability on vs off) =="
+./target/release/scale durability $QUICK --tolerance 1.25
 MERGE=()
 if [ -f BENCH_4.json ]; then
   MERGE=(--merge-baseline BENCH_4.json)

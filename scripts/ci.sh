@@ -49,6 +49,35 @@ wait $SEND_PID $JOIN_PID
 ./target/release/srm-experiments monitor \
     --monitor target/ci_monitor.jsonl --stats target/ci_stats.jsonl --validate
 
+echo "== durable store (WAL unit + property tests) =="
+cargo test -q -p srm-store
+
+echo "== durable rejoin smoke (kill -9 -> restart -> repair-from-disk, live UDP) =="
+STORE_DIR=$(mktemp -d target/ci_store.XXXXXX)
+# Phase 1: a durable sender logs one ADU, then dies hard mid-session.
+./target/release/srm-node send --id 1 --bind 127.0.0.1:7621 \
+    --peers 127.0.0.1:7622 --members 2 --duration 30 --quiet \
+    --text durable-smoke --store "$STORE_DIR" --fsync always &
+DUR_PID=$!
+sleep 2
+kill -9 $DUR_PID
+wait $DUR_PID 2>/dev/null || true
+# Phase 2: it restarts from the log; a fresh late joiner must recover the
+# pre-crash ADU via a repair only the rehydrated store can serve.
+timeout 30 ./target/release/srm-node join --id 1 --bind 127.0.0.1:7621 \
+    --peers 127.0.0.1:7622 --members 2 --duration 8 --quiet \
+    --store "$STORE_DIR" &
+REJOIN_PID=$!
+timeout 30 ./target/release/srm-node join --id 2 --bind 127.0.0.1:7622 \
+    --peers 127.0.0.1:7621 --members 2 --duration 8 > target/ci_durable.out &
+LATE_PID=$!
+wait $REJOIN_PID $LATE_PID
+grep -q "durable-smoke" target/ci_durable.out \
+    || { echo "durable rejoin smoke: late joiner never recovered the pre-crash ADU" >&2; exit 1; }
+grep -q "repair" target/ci_durable.out \
+    || { echo "durable rejoin smoke: ADU arrived but not via repair" >&2; exit 1; }
+rm -rf "$STORE_DIR"
+
 echo "== golden trace (observability JSONL pins) =="
 cargo test -q --test golden_trace
 
