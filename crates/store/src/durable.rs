@@ -7,7 +7,10 @@
 //!   always refers to the same data" means the log never needs updates.
 //! * **Only the tail is volatile.** Segment rotation syncs the outgoing
 //!   segment, so a crash can lose at most the unsynced suffix of the
-//!   newest segment — bounded by the [`FsyncPolicy`].
+//!   newest segment — bounded by the [`FsyncPolicy`]. A rotation whose
+//!   sync fails is abandoned (the append errors and the segment stays
+//!   the tail for retry) rather than promoting unsynced records to
+//!   durable.
 //! * **Snapshot = compaction.** A snapshot rewrites a [`Catalog`] marker
 //!   plus every live ADU record into a fresh synced segment, then deletes
 //!   all older segments. Replay order is segment order, so a rehydrate
@@ -119,6 +122,11 @@ pub struct DurableStore {
     tail_bytes: u64,
     unsynced: u64,
     since_snapshot: u64,
+    /// The temporally last name appended (or recovered) — what the member
+    /// was working on. Survives compaction via the [`Catalog`] record.
+    ///
+    /// [`Catalog`]: crate::record::Record::Catalog
+    last_appended: Option<AduName>,
     stats: PersistenceStats,
     probes: Option<StoreProbes>,
     /// Most recently read segment, to serve clustered disk fetches
@@ -140,6 +148,7 @@ impl DurableStore {
             tail_bytes: 0,
             unsynced: 0,
             since_snapshot: 0,
+            last_appended: None,
             stats: PersistenceStats::default(),
             probes: None,
             read_cache: None,
@@ -184,10 +193,16 @@ impl DurableStore {
             }
             Some(id) => {
                 // Rotation syncs the outgoing segment: everything but the
-                // tail is always durable.
-                if self.backend.sync(id).is_ok() {
-                    self.stats.fsyncs += 1;
+                // tail is always durable. If that sync fails the rotation
+                // is abandoned — the segment stays the tail with
+                // `unsynced` intact, so flush() or the next append retries
+                // instead of silently promoting unsynced records to
+                // durable.
+                if self.backend.sync(id).is_err() {
+                    // The caller counts the io_error when this propagates.
+                    return Err(std::io::Error::other("segment rotation sync failed"));
                 }
+                self.stats.fsyncs += 1;
                 self.unsynced = 0;
                 let next = id + 1;
                 self.backend.create_segment(next)?;
@@ -253,7 +268,10 @@ impl DurableStore {
         }
         let new_id = tail + 1;
         let mut buf = Vec::new();
-        Record::Catalog { live: live.len() as u64 }.encode_into(&mut buf);
+        // The rewrite below is in name order; the catalog marker carries
+        // the temporal "last appended" so replay can still restore it.
+        Record::Catalog { live: live.len() as u64, last: self.last_appended }
+            .encode_into(&mut buf);
         let mut new_index = BTreeMap::new();
         for (name, payload) in live {
             let offset = buf.len() as u64;
@@ -317,6 +335,7 @@ impl Persistence for DurableStore {
         }
         self.index.insert(name, Loc { segment: tail, offset });
         self.tail_bytes += len;
+        self.last_appended = Some(name);
         self.stats.appends += 1;
         self.stats.bytes_appended += len;
         self.stats.live_records += 1;
@@ -359,6 +378,7 @@ impl Persistence for DurableStore {
         self.tail_bytes = 0;
         self.unsynced = 0;
         self.since_snapshot = 0;
+        self.last_appended = None;
         self.stats.live_records = 0;
         self.stats.segments = 0;
     }
@@ -377,15 +397,23 @@ impl Persistence for DurableStore {
         };
         let mut last_len = 0u64;
         let mut last_appended = None;
+        let mut tail_ok = true;
         for &id in &ids {
             let buf = match self.backend.read_segment(id) {
                 Ok(b) => b,
                 Err(_) => {
                     self.stats.io_errors += 1;
+                    tail_ok = false;
                     continue;
                 }
             };
+            tail_ok = true;
             let mut off = 0usize;
+            // Records rewritten by compaction sit in name order, not
+            // append order; the catalog marker says how many follow it
+            // (excluded from last-appended tracking) and carries the
+            // pre-snapshot temporal value itself.
+            let mut compacted = 0u64;
             loop {
                 match Record::decode_at(&buf, off) {
                     Ok(None) => break,
@@ -394,12 +422,23 @@ impl Persistence for DurableStore {
                         self.index
                             .entry(name)
                             .or_insert(Loc { segment: id, offset: off as u64 });
-                        // Log order is temporal: remember what the member
-                        // was last working on.
-                        last_appended = Some(name);
+                        if compacted > 0 {
+                            compacted -= 1;
+                        } else {
+                            // Log order is temporal outside compacted
+                            // runs: remember what the member was last
+                            // working on.
+                            last_appended = Some(name);
+                        }
                         off = next;
                     }
-                    Ok(Some((Record::Catalog { .. }, next))) => off = next,
+                    Ok(Some((Record::Catalog { live, last }, next))) => {
+                        compacted = live;
+                        if last.is_some() {
+                            last_appended = last;
+                        }
+                        off = next;
+                    }
                     Err(at) => {
                         // Torn or corrupt: keep the valid prefix, drop the
                         // rest of this segment.
@@ -415,7 +454,11 @@ impl Persistence for DurableStore {
             last_len = off as u64;
         }
         self.tail = ids.last().copied();
-        self.tail_bytes = last_len;
+        // An unreadable tail segment has an unknown append position: mark
+        // it full so the next append rotates to a fresh segment instead of
+        // recording offsets into bytes we cannot see.
+        self.tail_bytes = if tail_ok { last_len } else { self.cfg.segment_bytes };
+        self.last_appended = last_appended;
         self.unsynced = 0;
         self.since_snapshot = 0;
         self.stats.segments = ids.len() as u64;
@@ -437,8 +480,10 @@ impl Persistence for DurableStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::MemBackend;
+    use crate::backend::{Backend, MemBackend};
     use srm::{PageId, SeqNo, SourceId};
+    use std::io;
+    use std::sync::{Arc, Mutex};
 
     fn name(seq: u64) -> AduName {
         AduName::new(SourceId(1), PageId::new(SourceId(1), 0), SeqNo(seq))
@@ -450,6 +495,63 @@ mod tests {
 
     fn store(disk: &MemBackend, cfg: StoreConfig) -> DurableStore {
         DurableStore::new(Box::new(disk.clone()), cfg)
+    }
+
+    /// I/O fault injection around a [`MemBackend`]: fail the next N syncs
+    /// and/or make one segment unreadable.
+    #[derive(Debug, Clone, Default)]
+    struct FaultState {
+        fail_syncs: u64,
+        unreadable: Option<u64>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct FaultBackend {
+        inner: MemBackend,
+        faults: Arc<Mutex<FaultState>>,
+    }
+
+    impl FaultBackend {
+        fn new(inner: MemBackend) -> Self {
+            FaultBackend { inner, faults: Arc::default() }
+        }
+    }
+
+    impl Backend for FaultBackend {
+        fn list_segments(&mut self) -> io::Result<Vec<u64>> {
+            self.inner.list_segments()
+        }
+        fn read_segment(&mut self, id: u64) -> io::Result<Vec<u8>> {
+            if self.faults.lock().expect("faults").unreadable == Some(id) {
+                return Err(io::Error::other("injected read failure"));
+            }
+            self.inner.read_segment(id)
+        }
+        fn create_segment(&mut self, id: u64) -> io::Result<()> {
+            self.inner.create_segment(id)
+        }
+        fn append(&mut self, id: u64, data: &[u8]) -> io::Result<()> {
+            self.inner.append(id, data)
+        }
+        fn sync(&mut self, id: u64) -> io::Result<()> {
+            {
+                let mut f = self.faults.lock().expect("faults");
+                if f.fail_syncs > 0 {
+                    f.fail_syncs -= 1;
+                    return Err(io::Error::other("injected sync failure"));
+                }
+            }
+            self.inner.sync(id)
+        }
+        fn truncate_segment(&mut self, id: u64, len: u64) -> io::Result<()> {
+            self.inner.truncate_segment(id, len)
+        }
+        fn remove_segment(&mut self, id: u64) -> io::Result<()> {
+            self.inner.remove_segment(id)
+        }
+        fn drop_volatile(&mut self) {
+            self.inner.drop_volatile()
+        }
     }
 
     #[test]
@@ -576,6 +678,98 @@ mod tests {
         let r = s.rehydrate();
         assert_eq!(r.names.len(), 3, "records 0..3 survive, 3.. are cut");
         assert!(r.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn read_through_stale_cache_after_appends() {
+        let disk = MemBackend::new();
+        let mut s = store(
+            &disk,
+            StoreConfig { fsync: FsyncPolicy::Never, snapshot_every: None, ..Default::default() },
+        );
+        s.persist(name(0), &payload(0));
+        // Warm the read cache while the tail segment holds one record.
+        assert_eq!(s.read(&name(0)).unwrap(), payload(0));
+        s.persist(name(1), &payload(1));
+        s.persist(name(2), &payload(2));
+        // Record 2's offset is past the cached copy; the refresh retry
+        // must serve it (this used to panic on an out-of-range slice).
+        assert_eq!(s.read(&name(2)).unwrap(), payload(2));
+    }
+
+    #[test]
+    fn rotation_sync_failure_keeps_tail_retrying() {
+        let disk = MemBackend::new();
+        let fb = FaultBackend::new(disk.clone());
+        let faults = fb.faults.clone();
+        let mut s = DurableStore::new(
+            Box::new(fb),
+            StoreConfig { fsync: FsyncPolicy::Never, segment_bytes: 64, snapshot_every: None },
+        );
+        s.persist(name(0), &payload(0));
+        // The next persist must rotate; fail the rotation's sync. The
+        // append is rejected rather than pretending record 0 is durable.
+        faults.lock().expect("faults").fail_syncs = 1;
+        assert!(!s.persist(name(1), &payload(1)));
+        assert_eq!(s.stats().io_errors, 1);
+        // Once the device recovers, the retried rotation syncs record 0
+        // for real before the tail moves on.
+        assert!(s.persist(name(1), &payload(1)));
+        s.crash();
+        let r = s.rehydrate();
+        assert!(r.names.contains(&name(0)), "rotated-out record survived the crash");
+    }
+
+    #[test]
+    fn unreadable_tail_segment_rotates_instead_of_blind_appends() {
+        let disk = MemBackend::new();
+        let fb = FaultBackend::new(disk.clone());
+        let faults = fb.faults.clone();
+        let mut s = DurableStore::new(
+            Box::new(fb),
+            StoreConfig { fsync: FsyncPolicy::Always, segment_bytes: 100, snapshot_every: None },
+        );
+        let big = Bytes::from(vec![7u8; 60]);
+        s.persist(name(0), &payload(0)); // 46 B record → segment 1
+        s.persist(name(1), &big); // 97 B record → rotates to segment 2
+        let tail = disk.last_segment().unwrap();
+        assert_eq!(tail, 2);
+        s.crash();
+        faults.lock().expect("faults").unreadable = Some(tail);
+        let r = s.rehydrate();
+        assert_eq!(r.names.len(), 1, "the unreadable tail's record is missing for now");
+        // The tail's real append position is unknown (97 B, vs the 46 B
+        // the previous segment would suggest): the next append must go to
+        // a fresh segment, not a made-up offset.
+        s.persist(name(2), &payload(2));
+        assert_eq!(s.read(&name(2)).unwrap(), payload(2));
+        faults.lock().expect("faults").unreadable = None;
+        s.crash();
+        s.rehydrate();
+        assert_eq!(s.read(&name(2)).unwrap(), payload(2), "offset matches the real file");
+        assert_eq!(s.read(&name(1)).unwrap(), big, "tail records reappear once readable");
+    }
+
+    #[test]
+    fn compaction_preserves_temporal_last_appended() {
+        let disk = MemBackend::new();
+        let mut s = store(
+            &disk,
+            StoreConfig { fsync: FsyncPolicy::Always, snapshot_every: Some(3), ..Default::default() },
+        );
+        // Append in descending name order so temporal order and the
+        // compacted rewrite's name order disagree.
+        for seq in [5u64, 4, 3] {
+            s.persist(name(seq), &payload(seq));
+        }
+        assert_eq!(s.stats().snapshots, 1);
+        s.crash();
+        let r = s.rehydrate();
+        assert_eq!(r.last_appended, Some(name(3)), "temporally last, not highest name");
+        // Appends after the snapshot resume temporal tracking.
+        s.persist(name(1), &payload(1));
+        s.crash();
+        assert_eq!(s.rehydrate().last_appended, Some(name(1)));
     }
 
     #[test]

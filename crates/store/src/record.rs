@@ -17,7 +17,10 @@
 //! * [`Record::Adu`] — one named payload: `source u64 | page.creator u64 |
 //!   page.number u32 | seq u64 | payload`.
 //! * [`Record::Catalog`] — snapshot marker heading a compacted segment,
-//!   carrying the count of live ADU records re-written after it.
+//!   carrying the count of live ADU records re-written after it and,
+//!   optionally, the temporally last-appended name at snapshot time
+//!   (compaction rewrites records in name order, so log position alone
+//!   can no longer tell).
 
 use crate::crc::crc32;
 use bytes::Bytes;
@@ -47,7 +50,27 @@ pub enum Record {
     Catalog {
         /// Number of live ADU records re-written after this marker.
         live: u64,
+        /// The temporally last-appended name when the snapshot was taken.
+        /// The rewritten records that follow are in name order, so replay
+        /// reads the pre-snapshot "what was the member working on" from
+        /// here instead of from log position.
+        last: Option<AduName>,
     },
+}
+
+fn encode_name(name: &AduName, out: &mut Vec<u8>) {
+    out.extend_from_slice(&name.source.0.to_le_bytes());
+    out.extend_from_slice(&name.page.creator.0.to_le_bytes());
+    out.extend_from_slice(&name.page.number.to_le_bytes());
+    out.extend_from_slice(&name.seq.0.to_le_bytes());
+}
+
+fn decode_name(body: &[u8]) -> AduName {
+    let source = SourceId(u64::from_le_bytes(body[0..8].try_into().expect("8")));
+    let creator = SourceId(u64::from_le_bytes(body[8..16].try_into().expect("8")));
+    let number = u32::from_le_bytes(body[16..20].try_into().expect("4"));
+    let seq = SeqNo(u64::from_le_bytes(body[20..28].try_into().expect("8")));
+    AduName::new(source, PageId::new(creator, number), seq)
 }
 
 impl Record {
@@ -60,18 +83,18 @@ impl Record {
                 out.extend_from_slice(&(len as u32).to_le_bytes());
                 out.extend_from_slice(&[0u8; 4]); // crc placeholder
                 out.push(KIND_ADU);
-                out.extend_from_slice(&name.source.0.to_le_bytes());
-                out.extend_from_slice(&name.page.creator.0.to_le_bytes());
-                out.extend_from_slice(&name.page.number.to_le_bytes());
-                out.extend_from_slice(&name.seq.0.to_le_bytes());
+                encode_name(name, out);
                 out.extend_from_slice(payload);
             }
-            Record::Catalog { live } => {
-                let len = 1 + 8;
+            Record::Catalog { live, last } => {
+                let len = 1 + 8 + if last.is_some() { ADU_FIXED } else { 0 };
                 out.extend_from_slice(&(len as u32).to_le_bytes());
                 out.extend_from_slice(&[0u8; 4]);
                 out.push(KIND_CATALOG);
                 out.extend_from_slice(&live.to_le_bytes());
+                if let Some(name) = last {
+                    encode_name(name, out);
+                }
             }
         }
         let crc = crc32(&out[start + HEADER_BYTES..]);
@@ -81,11 +104,13 @@ impl Record {
 
     /// Decode the record starting at `buf[offset..]`.
     ///
-    /// `Ok(Some((record, next_offset)))` on success, `Ok(None)` at a clean
-    /// end of buffer, `Err(offset)` when the bytes at `offset` are torn or
-    /// corrupt (the valid prefix ends there).
+    /// `Ok(Some((record, next_offset)))` on success, `Ok(None)` at or past
+    /// the end of the buffer (a caller holding a stale copy of a growing
+    /// segment may ask for an offset beyond what it has — that is "no
+    /// record here", not a tear), `Err(offset)` when the bytes at `offset`
+    /// are torn or corrupt (the valid prefix ends there).
     pub fn decode_at(buf: &[u8], offset: usize) -> Result<Option<(Record, usize)>, usize> {
-        if offset == buf.len() {
+        if offset >= buf.len() {
             return Ok(None);
         }
         let rest = &buf[offset..];
@@ -103,18 +128,13 @@ impl Record {
         }
         let body = &span[1..];
         let rec = match span[0] {
-            KIND_ADU if body.len() >= ADU_FIXED => {
-                let source = SourceId(u64::from_le_bytes(body[0..8].try_into().expect("8")));
-                let creator = SourceId(u64::from_le_bytes(body[8..16].try_into().expect("8")));
-                let number = u32::from_le_bytes(body[16..20].try_into().expect("4"));
-                let seq = SeqNo(u64::from_le_bytes(body[20..28].try_into().expect("8")));
-                Record::Adu {
-                    name: AduName::new(source, PageId::new(creator, number), seq),
-                    payload: Bytes::copy_from_slice(&body[ADU_FIXED..]),
-                }
-            }
-            KIND_CATALOG if body.len() == 8 => Record::Catalog {
-                live: u64::from_le_bytes(body.try_into().expect("8")),
+            KIND_ADU if body.len() >= ADU_FIXED => Record::Adu {
+                name: decode_name(body),
+                payload: Bytes::copy_from_slice(&body[ADU_FIXED..]),
+            },
+            KIND_CATALOG if body.len() == 8 || body.len() == 8 + ADU_FIXED => Record::Catalog {
+                live: u64::from_le_bytes(body[0..8].try_into().expect("8")),
+                last: (body.len() > 8).then(|| decode_name(&body[8..])),
             },
             _ => return Err(offset), // unknown kind or malformed body
         };
@@ -149,7 +169,15 @@ mod tests {
     #[test]
     fn round_trip_sequence() {
         let mut buf = Vec::new();
-        let records = vec![adu(0, b"alpha"), Record::Catalog { live: 2 }, adu(1, b"")];
+        let records = vec![
+            adu(0, b"alpha"),
+            Record::Catalog { live: 2, last: None },
+            Record::Catalog {
+                live: 2,
+                last: Some(AduName::new(SourceId(9), PageId::new(SourceId(9), 1), SeqNo(4))),
+            },
+            adu(1, b""),
+        ];
         for r in &records {
             r.encode_into(&mut buf);
         }
@@ -173,6 +201,15 @@ mod tests {
         let (_, next) = Record::decode_at(&buf, 0).expect("first ok").expect("some");
         assert_eq!(next, end_of_first);
         assert_eq!(Record::decode_at(&buf, next), Err(end_of_first));
+    }
+
+    #[test]
+    fn decode_past_end_is_clean_end() {
+        let mut buf = Vec::new();
+        adu(0, b"x").encode_into(&mut buf);
+        // A stale reader may hold fewer bytes than the offset it was
+        // handed; that must read as "no record here", not panic.
+        assert_eq!(Record::decode_at(&buf, buf.len() + 41), Ok(None));
     }
 
     #[test]
