@@ -62,7 +62,8 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
                 [--trace FILE] [--trace-cap N] [--seed N] [--chaos SPEC]
                 [--stats-file FILE] [--stats-addr ADDR] [--stats-interval F]
                 [--store DIR] [--fsync always|never|every=N]
-                [--store-cache N] [--snapshot-every N] [--quiet]
+                [--store-cache N] [--snapshot-every N]
+                [--batch N] [--pool N] [--quiet]
        srm-node monitor --bind ADDR [--mcast ADDR] [--group N] [--members N]
                 [--duration SECS] [--refresh F] [--out FILE]
                 [--suspect F] [--dead F] [--quiet]
@@ -103,6 +104,10 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
   --store-cache N   keep at most N payloads per stream in RAM; older
               repairs are served from the log (default: keep all resident)
   --snapshot-every N  compact the log every N appends (0 = never)
+  --batch N   frames per recv/send syscall on the batched datapath
+              (default 32; 0 forces the portable one-at-a-time backend)
+  --pool N    receive/send buffer-pool slabs (default 64); more slabs
+              absorb bigger floods before falling back to heap buffers
   Typing `quit` on stdin leaves the session early but cleanly: sinks
   drain and the WAL flushes before exit.
   monitor only:
@@ -136,6 +141,8 @@ struct Args {
     stats_addr: Option<SocketAddr>,
     stats_interval: f64,
     store: Option<StoreOptions>,
+    batch: Option<usize>,
+    pool: Option<usize>,
     quiet: bool,
 }
 
@@ -179,6 +186,8 @@ fn parse_args() -> Args {
     let mut fsync: Option<String> = None;
     let mut store_cache: Option<usize> = None;
     let mut snapshot_every: Option<u64> = None;
+    let mut batch: Option<usize> = None;
+    let mut pool: Option<usize> = None;
     let mut quiet = false;
 
     let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -287,6 +296,22 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| die("--snapshot-every must be an integer")),
                 )
             }
+            "--batch" => {
+                batch = Some(
+                    next(&mut argv, "--batch")
+                        .parse()
+                        .unwrap_or_else(|_| die("--batch must be an integer")),
+                )
+            }
+            "--pool" => {
+                let n: usize = next(&mut argv, "--pool")
+                    .parse()
+                    .unwrap_or_else(|_| die("--pool must be an integer"));
+                if n == 0 {
+                    die("--pool must be at least 1");
+                }
+                pool = Some(n);
+            }
             "--quiet" => quiet = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -346,6 +371,8 @@ fn parse_args() -> Args {
         stats_addr,
         stats_interval,
         store,
+        batch,
+        pool,
         quiet,
     }
 }
@@ -634,6 +661,18 @@ fn main() {
         opts.liveness = Some(srm::LivenessConfig::default());
     }
     opts.store = args.store.clone();
+    match args.batch {
+        // 0 keeps the pooled datapath but moves one datagram per syscall.
+        Some(0) => opts.batch.force_portable = true,
+        Some(n) => {
+            opts.batch.recv_batch = n;
+            opts.batch.send_batch = n;
+        }
+        None => {}
+    }
+    if let Some(n) = args.pool {
+        opts.batch.pool_slabs = n;
+    }
 
     let node = match Node::spawn(args.bind, args.mode, opts) {
         Ok(n) => n,

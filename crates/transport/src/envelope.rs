@@ -21,7 +21,7 @@
 //! was truncated in flight, padded, or corrupted — *before* handing the
 //! payload to the message decoder.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// First four bytes of every datagram.
 pub const MAGIC: [u8; 4] = *b"SRMT";
@@ -130,42 +130,82 @@ impl Envelope {
         b.put_slice(&self.payload);
     }
 
-    /// Parse one received datagram. The payload is *not* decoded here —
-    /// the agent's packet handler owns [`srm::Message::decode`] and its
-    /// error handling, exactly as in the simulator.
+    /// Parse one received datagram into an owned envelope. Copies the
+    /// payload once; the zero-copy hot path is [`Envelope::decode_view`].
     pub fn decode(buf: &[u8]) -> Result<Envelope, EnvelopeError> {
+        Ok(Envelope::decode_view(buf)?.to_owned())
+    }
+
+    /// Parse one received datagram *in place*: every field is read out of
+    /// `buf` and the payload stays a borrow of it, so the reactor can
+    /// filter (self-delivery, unjoined group, zero TTL) before paying for
+    /// any copy at all. The payload is *not* decoded here — the agent's
+    /// packet handler owns [`srm::Message::decode`] and its error
+    /// handling, exactly as in the simulator.
+    pub fn decode_view(buf: &[u8]) -> Result<EnvelopeView<'_>, EnvelopeError> {
         if buf.len() < HEADER_LEN {
             return Err(EnvelopeError::Truncated);
         }
-        let mut b = Bytes::copy_from_slice(buf);
-        let mut magic = [0u8; 4];
-        b.copy_to_slice(&mut magic);
-        if magic != MAGIC {
+        if buf[0..4] != MAGIC {
             return Err(EnvelopeError::BadMagic);
         }
-        let ver = b.get_u8();
+        let ver = buf[4];
         if ver != VERSION {
             return Err(EnvelopeError::BadVersion(ver));
         }
-        let src = b.get_u32();
-        let group = b.get_u32();
-        let ttl = b.get_u8();
-        let initial_ttl = b.get_u8();
-        let admin_scoped = b.get_u8() != 0;
-        let flow = b.get_u32();
-        let declared = b.get_u16();
-        if usize::from(declared) != b.len() {
-            return Err(EnvelopeError::LengthMismatch { declared, actual: b.len() });
+        let be32 = |at: usize| u32::from_be_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
+        let declared = u16::from_be_bytes(buf[20..22].try_into().expect("2 bytes"));
+        let payload = &buf[HEADER_LEN..];
+        if usize::from(declared) != payload.len() {
+            return Err(EnvelopeError::LengthMismatch {
+                declared,
+                actual: payload.len(),
+            });
         }
-        Ok(Envelope {
-            src,
-            group,
-            ttl,
-            initial_ttl,
-            admin_scoped,
-            flow,
-            payload: b,
+        Ok(EnvelopeView {
+            src: be32(5),
+            group: be32(9),
+            ttl: buf[13],
+            initial_ttl: buf[14],
+            admin_scoped: buf[15] != 0,
+            flow: be32(16),
+            payload,
         })
+    }
+}
+
+/// A decoded envelope whose payload borrows the receive buffer — the
+/// zero-copy counterpart of [`Envelope`] for the reactor's inbound path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnvelopeView<'a> {
+    /// Sending node id.
+    pub src: u32,
+    /// Destination multicast group id.
+    pub group: u32,
+    /// Remaining TTL as of transmission.
+    pub ttl: u8,
+    /// The TTL the packet was originally sent with.
+    pub initial_ttl: u8,
+    /// Administrative-scope flag.
+    pub admin_scoped: bool,
+    /// Traffic class.
+    pub flow: u32,
+    /// Encoded [`srm::Message`] bytes, borrowed from the datagram buffer.
+    pub payload: &'a [u8],
+}
+
+impl EnvelopeView<'_> {
+    /// Copy out into an owned [`Envelope`] (one payload-sized copy).
+    pub fn to_owned(&self) -> Envelope {
+        Envelope {
+            src: self.src,
+            group: self.group,
+            ttl: self.ttl,
+            initial_ttl: self.initial_ttl,
+            admin_scoped: self.admin_scoped,
+            flow: self.flow,
+            payload: Bytes::copy_from_slice(self.payload),
+        }
     }
 }
 
@@ -237,6 +277,30 @@ mod tests {
             EnvelopeError::LengthMismatch { declared: 1, actual: 2 }.label(),
             "length_mismatch"
         );
+    }
+
+    #[test]
+    fn view_agrees_with_owned_decode_on_arbitrary_mutations() {
+        // The borrowed and owned decoders must be the same function:
+        // identical fields on success, identical error on rejection.
+        let wire = sample().encode();
+        for cut in 0..wire.len() {
+            let buf = &wire[..cut];
+            match (Envelope::decode_view(buf), Envelope::decode(buf)) {
+                (Ok(v), Ok(e)) => assert_eq!(v.to_owned(), e),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("decoders disagree at cut {cut}: {a:?} vs {b:?}"),
+            }
+        }
+        for bit in 0..wire.len() * 8 {
+            let mut flipped = wire.to_vec();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            match (Envelope::decode_view(&flipped), Envelope::decode(&flipped)) {
+                (Ok(v), Ok(e)) => assert_eq!(v.to_owned(), e),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("decoders disagree at bit {bit}: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

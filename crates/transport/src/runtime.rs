@@ -53,9 +53,11 @@
 //! separately as `chaos_*`). The soak harness asserts this invariant, which
 //! is what "zero unexplained drops" means operationally.
 
+use crate::batch::{make_backend, BatchOptions, BatchSocket, RecvFrame, SendFrame};
 use crate::chaos::{Blackhole, ChaosPlan, ChaosState, ChaosTally, ChaosTransport, DelayQueue};
 use crate::clock::WallClock;
 use crate::envelope::Envelope;
+use crate::pool::{BufferPool, PoolBuf};
 use crate::supervise::{run_supervised, ExitReason, StepOutcome, SupervisePolicy, SupervisionEvent};
 use crate::wheel::TimerWheel;
 use bytes::Bytes;
@@ -215,6 +217,10 @@ pub struct NodeOptions {
     /// bounded cache, and flushes on clean shutdown. `None` (the default)
     /// keeps the agent purely in-memory.
     pub store: Option<StoreOptions>,
+    /// Batched-datapath tuning: syscall batch sizes, receive-pool size,
+    /// inbound channel bound, and the portable-backend override
+    /// (`srm-node --batch/--pool`).
+    pub batch: BatchOptions,
 }
 
 /// Durable-store configuration for one node.
@@ -263,9 +269,19 @@ impl NodeOptions {
             supervision: SupervisePolicy::default(),
             fallback_peers: Vec::new(),
             store: None,
+            batch: BatchOptions::default(),
         }
     }
 }
+
+/// Receive-slab size: one max-size UDP datagram, so batching can never
+/// truncate a frame.
+pub(crate) const MAX_DATAGRAM: usize = 64 * 1024;
+
+/// Initial size of the send-side encode slabs. SRM control traffic and
+/// framed data fit comfortably; a larger encode grows its slab once and
+/// the grown slab recycles at the new size.
+const TX_SLAB_BYTES: usize = 2048;
 
 /// Salt mixed into the node seed to derive the chaos RNG, keeping the chaos
 /// draw stream independent of the protocol's timer draws.
@@ -291,8 +307,18 @@ struct RegHandles {
     stage_decode: obs::Histo,
     /// Agent handling time per inbound packet (`drive_packet`).
     stage_handle: obs::Histo,
-    // Mirrors of the shared atomic counters, refreshed on every reactor
-    // iteration so snapshots are complete without reaching into the handle.
+    /// Channel events handled per reactor wakeup (the coalescing window).
+    batch_drain: obs::Histo,
+    /// Receive-pool occupancy (slabs in flight) sampled per wakeup.
+    pool_in_use: obs::Gauge,
+    /// Receive-pool size.
+    pool_capacity: obs::Gauge,
+    /// Pool-dry fallbacks to exact-size heap buffers (both directions).
+    pool_misses: obs::Counter,
+    /// Datagrams shed because the bounded inbound channel was full.
+    inbound_overflow: obs::Counter,
+    // Mirrors of the shared atomic counters, refreshed once per reactor
+    // wakeup so snapshots are complete without reaching into the handle.
     frames_attempted: obs::Counter,
     frames_sent: obs::Counter,
     frames_dropped: obs::Counter,
@@ -340,6 +366,11 @@ impl RegHandles {
             stage_queue: reg.histogram("stage.queue_s"),
             stage_decode: reg.histogram("stage.decode_s"),
             stage_handle: reg.histogram("stage.handle_s"),
+            batch_drain: reg.histogram("batch.inbound_drain"),
+            pool_in_use: reg.gauge("pool.in_use"),
+            pool_capacity: reg.gauge("pool.capacity"),
+            pool_misses: reg.counter("pool.misses"),
+            inbound_overflow: reg.counter("inbound.overflow"),
             frames_attempted: reg.counter("frames.attempted"),
             frames_sent: reg.counter("frames.sent"),
             frames_dropped: reg.counter("frames.dropped"),
@@ -386,6 +417,8 @@ struct OutMetrics {
     tx: [obs::Counter; 5],
     /// Encode + fan-out time per logical multicast.
     stage_send: obs::Histo,
+    /// Frames per send syscall at flush time.
+    batch_send: obs::Histo,
     clock: WallClock,
 }
 
@@ -394,6 +427,7 @@ impl OutMetrics {
         OutMetrics {
             tx: FLOW_KINDS.map(|k| reg.counter(&format!("tx.frames.{k}"))),
             stage_send: reg.histogram("stage.send_s"),
+            batch_send: reg.histogram("batch.send_frames"),
             clock,
         }
     }
@@ -417,6 +451,7 @@ struct Counters {
     recv_respawns: AtomicU64,
     recv_deaths: AtomicU64,
     mode_fallbacks: AtomicU64,
+    inbound_overflow: AtomicU64,
     max_wheel_len: AtomicU64,
     max_delayq_len: AtomicU64,
 }
@@ -459,6 +494,10 @@ pub struct TransportStats {
     pub recv_deaths: u64,
     /// Multicast-join failures degraded to the unicast mesh.
     pub mode_fallbacks: u64,
+    /// Inbound datagrams shed because the bounded reactor channel was
+    /// full (backpressure under flood; SRM's recovery machinery repairs
+    /// the gaps, exactly as for wire loss).
+    pub inbound_overflow: u64,
     /// High-water mark of the timer wheel (including lazy-cancelled slots).
     pub max_wheel_len: u64,
     /// High-water mark of the chaos delay queue.
@@ -483,6 +522,7 @@ impl TransportStats {
             recv_respawns: c.recv_respawns.load(Ordering::Relaxed),
             recv_deaths: c.recv_deaths.load(Ordering::Relaxed),
             mode_fallbacks: c.mode_fallbacks.load(Ordering::Relaxed),
+            inbound_overflow: c.inbound_overflow.load(Ordering::Relaxed),
             max_wheel_len: c.max_wheel_len.load(Ordering::Relaxed),
             max_delayq_len: c.max_delayq_len.load(Ordering::Relaxed),
         }
@@ -496,9 +536,28 @@ impl TransportStats {
     }
 }
 
+/// One encoded frame queued for the next flush.
+struct PendingFrame {
+    dest: SocketAddr,
+    /// `Some(ttl)` in multicast mode: the flush sets the socket's
+    /// multicast TTL per run of equal values, preserving the old
+    /// per-send `set_multicast_ttl_v4` semantics. `None` on a mesh.
+    ttl: Option<u8>,
+    /// The encoded envelope, shared (not copied) across the mesh fan-out.
+    data: Arc<PoolBuf>,
+}
+
 /// The send half: socket + mode + interposed loss + blackhole windows.
+///
+/// Sends are *queued*: every logical multicast encodes once into a pooled
+/// slab, fans out per destination at enqueue time (where loss, blackholes,
+/// and the accounting all run, in the same order as before), and the
+/// reactor flushes the whole queue as batched syscalls once per wakeup.
 struct Outbound {
+    /// Kept alongside the batched backend for socket options
+    /// (`set_multicast_ttl_v4`, `join_multicast_v4`).
     socket: UdpSocket,
+    batch: Box<dyn BatchSocket>,
     mode: Mode,
     src: u32,
     loss: LossPolicy,
@@ -508,9 +567,16 @@ struct Outbound {
     /// Reactor-side transport event log (blackholes, send/socket errors,
     /// decode failures, supervision events forwarded from the recv thread).
     log: obs::TransportLog,
-    /// Reused datagram scratch: the envelope is serialized here for each
-    /// send, so steady-state sending allocates nothing per datagram.
-    scratch: Vec<u8>,
+    /// Recycled encode slabs: the envelope is serialized into a pooled
+    /// buffer per logical send, so steady-state sending allocates nothing
+    /// per datagram (drops at flush return the slabs).
+    tx_pool: BufferPool,
+    /// Frames awaiting the next flush.
+    queue: Vec<PendingFrame>,
+    /// Reused per-flush results scratch.
+    results: Vec<io::Result<()>>,
+    /// Frames per send syscall (from [`BatchOptions::send_batch`]).
+    max_batch: usize,
     /// Live-registry handles for the send path; `None` costs one branch.
     metrics: Option<OutMetrics>,
 }
@@ -518,15 +584,18 @@ struct Outbound {
 /// One per-destination attempt: the single place every outgoing frame's
 /// fate is decided and counted (a free function over [`Outbound`]'s split
 /// field borrows, so the mesh fan-out can iterate `mode`'s peer list while
-/// mutating the loss policy and log).
+/// mutating the loss policy and log). Surviving frames go on the flush
+/// queue; `frames_sent`/`send_errors` are settled when the batch reaches
+/// the socket.
 #[allow(clippy::too_many_arguments)]
-fn send_one(
+fn enqueue_one(
     now: SimTime,
     dest: SocketAddr,
     policy_dest: Option<SocketAddr>,
+    ttl: Option<u8>,
     flow: u32,
-    socket: &UdpSocket,
-    wire: &[u8],
+    wire: &Arc<PoolBuf>,
+    queue: &mut Vec<PendingFrame>,
     blackholes: &[Blackhole],
     loss: &mut LossPolicy,
     counters: &Counters,
@@ -539,22 +608,7 @@ fn send_one(
     } else if loss.should_drop(flow, policy_dest) {
         counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
     } else {
-        match socket.send_to(wire, dest) {
-            Ok(_) => {
-                counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(e) => {
-                counters.send_errors.fetch_add(1, Ordering::Relaxed);
-                log.record(
-                    now,
-                    obs::TransportEventKind::SocketError {
-                        detail: format!("send_to {dest}: {e}"),
-                        transient: crate::supervise::classify(e.kind())
-                            == crate::supervise::ErrorClass::Transient,
-                    },
-                );
-            }
-        }
+        queue.push(PendingFrame { dest, ttl, data: Arc::clone(wire) });
     }
 }
 
@@ -564,7 +618,10 @@ impl Outbound {
             // A zero-TTL datagram never leaves the host.
             return;
         }
-        self.scratch.clear();
+        let mut buf = self.tx_pool.try_take().unwrap_or_else(|| {
+            self.tx_pool.note_miss();
+            PoolBuf::copied_from(&[])
+        });
         Envelope {
             src: self.src,
             group: group.0,
@@ -574,24 +631,28 @@ impl Outbound {
             flow: opts.flow,
             payload,
         }
-        .encode_into(&mut self.scratch);
-        let Outbound { socket, mode, loss, blackholes, counters, log, scratch, .. } = self;
+        .encode_into(&mut buf);
+        let wire = Arc::new(buf);
+        let Outbound { mode, loss, blackholes, counters, log, queue, .. } = self;
         match mode {
             Mode::Mesh { peers } => {
                 for &p in peers.iter() {
-                    send_one(now, p, Some(p), opts.flow, socket, scratch, blackholes, loss, counters, log);
+                    enqueue_one(
+                        now, p, Some(p), None, opts.flow, &wire, queue, blackholes, loss,
+                        counters, log,
+                    );
                 }
             }
             Mode::Multicast { base } => {
                 let dest = Mode::group_addr(*base, group);
-                let _ = socket.set_multicast_ttl_v4(u32::from(opts.ttl));
-                send_one(
+                enqueue_one(
                     now,
                     SocketAddr::V4(dest),
                     None,
+                    Some(opts.ttl),
                     opts.flow,
-                    socket,
-                    scratch,
+                    &wire,
+                    queue,
                     blackholes,
                     loss,
                     counters,
@@ -603,6 +664,61 @@ impl Outbound {
             m.tx[flow_slot(opts.flow)].inc();
             m.stage_send.record(m.clock.now().since(now).as_secs_f64());
         }
+    }
+
+    /// Push every queued frame to the socket in batched syscalls,
+    /// settling `frames_sent`/`send_errors` per destination. Runs of
+    /// equal multicast TTL share one `set_multicast_ttl_v4` call.
+    fn flush(&mut self, now: SimTime) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.queue);
+        let mut i = 0;
+        while i < queue.len() {
+            let ttl = queue[i].ttl;
+            let mut j = i + 1;
+            while j < queue.len() && queue[j].ttl == ttl {
+                j += 1;
+            }
+            if let Some(t) = ttl {
+                let _ = self.socket.set_multicast_ttl_v4(u32::from(t));
+            }
+            for chunk in queue[i..j].chunks(self.max_batch.max(1)) {
+                let frames: Vec<SendFrame<'_>> = chunk
+                    .iter()
+                    .map(|p| SendFrame { dest: p.dest, data: &p.data })
+                    .collect();
+                self.results.clear();
+                self.batch.send_batch(&frames, &mut self.results);
+                if let Some(m) = &self.metrics {
+                    m.batch_send.record(frames.len() as f64);
+                }
+                for (p, r) in chunk.iter().zip(self.results.iter()) {
+                    match r {
+                        Ok(()) => {
+                            self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            self.counters.send_errors.fetch_add(1, Ordering::Relaxed);
+                            self.log.record(
+                                now,
+                                obs::TransportEventKind::SocketError {
+                                    detail: format!("send_to {}: {e}", p.dest),
+                                    transient: crate::supervise::classify(e.kind())
+                                        == crate::supervise::ErrorClass::Transient,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        // Reclaim the queue's allocation; dropping the contents returns
+        // the encode slabs to the pool.
+        self.queue = queue;
+        self.queue.clear();
     }
 
     fn join_group(&mut self, group: GroupId) -> io::Result<()> {
@@ -701,8 +817,13 @@ type ExecFn = Box<dyn FnOnce(&mut SrmAgent, &mut dyn Driver) + Send>;
 /// Work items the reactor waits on.
 enum Event {
     /// A raw datagram from the receive thread, stamped with its capture
-    /// time so the reactor can account the queueing stage.
-    Datagram(SimTime, Vec<u8>),
+    /// time so the reactor can account the queueing stage. The buffer is
+    /// a pooled slab travelling by ownership; dropping it after decode
+    /// recycles the slab to the receive pool. The `u32` is the GRO
+    /// segment size: non-zero means the kernel coalesced several
+    /// equal-size frames into this one buffer, and the reactor walks
+    /// them at that stride ([`RecvFrame`]).
+    Datagram(SimTime, u32, PoolBuf),
     /// A typed transport event from the receive thread's supervisor.
     Transport(SimTime, obs::TransportEventKind),
     /// Run a closure against the agent (the wall-clock analogue of
@@ -731,18 +852,31 @@ impl Node {
     /// sockets first so every node can list the others as peers).
     pub fn spawn_on(socket: UdpSocket, mode: Mode, opts: NodeOptions) -> io::Result<NodeHandle> {
         let addr = socket.local_addr()?;
+        // One call covers every clone: dup'd descriptors share the socket,
+        // and the batched sender can burst a whole flush into this buffer.
+        crate::batch::configure_socket_buffers(&socket, opts.batch.socket_bufs);
         let recv_master = socket.try_clone()?;
 
-        let (tx, rx) = mpsc::channel::<Event>();
+        // Bounded: under flood the channel sheds datagrams (counted as
+        // `inbound_overflow`) instead of growing without limit; commands
+        // and supervision events block briefly instead of being lost.
+        let (tx, rx) = mpsc::sync_channel::<Event>(opts.batch.inbound_capacity.max(1));
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
         let clock = WallClock::with_skew(opts.skew);
+        // One slab per channel slot would be ideal; `pool_slabs` bounds the
+        // receive-side memory at `pool_slabs * MAX_DATAGRAM` instead, with
+        // exact-size heap copies (counted misses) covering the overflow.
+        let rx_pool = BufferPool::new(opts.batch.pool_slabs, MAX_DATAGRAM);
 
         let recv_tx = tx.clone();
         let recv_stop = Arc::clone(&stop);
         let recv_counters = Arc::clone(&counters);
         let recv_clock = clock.clone();
+        let recv_pool = rx_pool.clone();
+        let recv_histo = opts.metrics.as_ref().map(|r| r.histogram("batch.recv_frames"));
         let policy = opts.supervision;
+        let batch_opts = opts.batch;
         let recv_thread = thread::Builder::new()
             .name(format!("srm-recv-{}", opts.id.0))
             .spawn(move || {
@@ -750,6 +884,9 @@ impl Node {
                     &policy,
                     recv_master,
                     addr,
+                    batch_opts,
+                    recv_pool,
+                    recv_histo,
                     recv_tx,
                     recv_stop,
                     recv_counters,
@@ -763,7 +900,7 @@ impl Node {
         let reactor = thread::Builder::new()
             .name(format!("srm-node-{}", opts.id.0))
             .spawn(move || {
-                let agent = run_reactor(socket, mode, opts, rx, reactor_counters, clock);
+                let agent = run_reactor(socket, mode, opts, rx, rx_pool, reactor_counters, clock);
                 reactor_stop.store(true, Ordering::Relaxed);
                 let _ = recv_thread.join();
                 agent
@@ -780,18 +917,29 @@ impl Node {
 }
 
 /// The supervised receive loop: each spawned step owns a fresh socket clone
-/// (a rebind when the original descriptor is wedged) with a short read
-/// timeout; poll timeouts are normal progress, everything else goes through
-/// the supervisor's classify/backoff/respawn state machine.
+/// (a rebind when the original descriptor is wedged) wrapped in a batched
+/// backend with a short read timeout; poll timeouts are normal progress,
+/// everything else goes through the supervisor's classify/backoff/respawn
+/// state machine. Datagrams ride pooled slabs into the bounded channel;
+/// when the channel is full the frame is shed and counted rather than
+/// blocking the socket drain.
+#[allow(clippy::too_many_arguments)]
 fn run_recv_supervised(
     policy: &SupervisePolicy,
     master: UdpSocket,
     local: SocketAddr,
-    tx: mpsc::Sender<Event>,
+    batch: BatchOptions,
+    pool: BufferPool,
+    recv_histo: Option<obs::Histo>,
+    tx: mpsc::SyncSender<Event>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
     clock: WallClock,
 ) {
+    if batch.batch_sched {
+        crate::batch::enter_batch_scheduling();
+    }
+    let recv_batch = batch.recv_batch.clamp(1, crate::batch::MAX_BATCH);
     let reason = run_supervised(
         policy,
         |attempt| {
@@ -804,18 +952,49 @@ fn run_recv_supervised(
                 master.try_clone().or_else(|_| UdpSocket::bind(local))?
             };
             sock.set_read_timeout(Some(RECV_POLL))?;
+            let mut backend = make_backend(sock, &batch);
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
             let step_clock = clock.clone();
-            let mut buf = vec![0u8; 64 * 1024];
+            let step_pool = pool.clone();
+            let step_histo = recv_histo.clone();
+            let step_counters = Arc::clone(&counters);
+            let mut bufs: Vec<RecvFrame> = Vec::with_capacity(recv_batch);
             Ok(move || -> io::Result<StepOutcome> {
                 if stop.load(Ordering::Relaxed) {
                     return Ok(StepOutcome::Stop);
                 }
-                match sock.recv_from(&mut buf) {
-                    Ok((n, _from)) => {
-                        if tx.send(Event::Datagram(step_clock.now(), buf[..n].to_vec())).is_err() {
-                            return Ok(StepOutcome::Stop);
+                bufs.clear();
+                match backend.recv_batch(&step_pool, recv_batch, &mut bufs) {
+                    Ok(_) => {
+                        if let Some(h) = &step_histo {
+                            // Logical frames per syscall: a GRO-coalesced
+                            // buffer counts all its segments.
+                            let frames: usize = bufs.iter().map(RecvFrame::frame_count).sum();
+                            h.record(frames as f64);
+                        }
+                        // One capture stamp per batch: the datagrams were
+                        // drained by one syscall, so they share an arrival
+                        // time as far as the queue-stage clock can tell.
+                        let at = step_clock.now();
+                        for f in bufs.drain(..) {
+                            let frames = f.frame_count() as u64;
+                            match tx.try_send(Event::Datagram(at, f.seg_size, f.buf)) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full(_)) => {
+                                    // Shed, count, and keep draining the
+                                    // socket: SRM repairs the gap exactly
+                                    // as it would wire loss. A shed
+                                    // coalesced buffer loses every frame
+                                    // it carried.
+                                    step_counters
+                                        .inbound_overflow
+                                        .fetch_add(frames, Ordering::Relaxed);
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => {
+                                    return Ok(StepOutcome::Stop);
+                                }
+                            }
                         }
                         Ok(StepOutcome::Continue)
                     }
@@ -883,22 +1062,32 @@ fn run_recv_supervised(
     ));
 }
 
-/// The reactor loop: fire due timers, release held-back chaos frames, then
-/// wait for the next datagram, command, or deadline.
+/// The reactor loop: fire due timers, release held-back chaos frames,
+/// flush the send queue as batched syscalls, then drain a whole window of
+/// channel events per wakeup (datagrams, commands, deadlines coalesced).
 fn run_reactor(
     socket: UdpSocket,
     mode: Mode,
     opts: NodeOptions,
     rx: mpsc::Receiver<Event>,
+    rx_pool: BufferPool,
     counters: Arc<Counters>,
     clock: WallClock,
 ) -> SrmAgent {
+    if opts.batch.batch_sched {
+        crate::batch::enter_batch_scheduling();
+    }
     let mut wheel = TimerWheel::new();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut joined: BTreeSet<GroupId> = BTreeSet::new();
     let mut fallback_peers = opts.fallback_peers;
+    // The backend owns its own descriptor clone; the original stays on
+    // `Outbound.socket` for multicast socket options. `spawn_on` already
+    // cloned this descriptor once, so a failure here is a dead socket.
+    let send_sock = socket.try_clone().expect("clone udp socket for batched sends");
     let mut out = Outbound {
         socket,
+        batch: make_backend(send_sock, &opts.batch),
         mode,
         src: u32::try_from(opts.id.0).unwrap_or(u32::MAX),
         loss: opts.loss,
@@ -909,7 +1098,12 @@ fn run_reactor(
             .unwrap_or_default(),
         counters: Arc::clone(&counters),
         log: obs::TransportLog::new(),
-        scratch: Vec::new(),
+        // Send slabs start at a typical datagram size; an oversized encode
+        // grows its slab once and the bigger slab recycles.
+        tx_pool: BufferPool::new(opts.batch.pool_slabs, TX_SLAB_BYTES),
+        queue: Vec::new(),
+        results: Vec::new(),
+        max_batch: opts.batch.send_batch.clamp(1, crate::batch::MAX_BATCH),
         metrics: opts.metrics.as_ref().map(|r| OutMetrics::new(r, clock.clone())),
     };
     let reg = opts.metrics.as_ref().map(RegHandles::new);
@@ -1018,17 +1212,143 @@ fn run_reactor(
 
     let mut rx_seq = 0u64;
     let mut decode_fail_count = 0u64;
-    loop {
+    let inbound_drain = opts.batch.inbound_drain.max(1);
+
+    // Handle one channel event; evaluates to `true` on shutdown. A macro
+    // (not a closure) because the body borrows half the reactor's state
+    // through `with_driver!`.
+    macro_rules! handle_event {
+        ($ev:expr) => {{
+            match $ev {
+                Event::Datagram(recv_at, seg, buf) => {
+                    // A plain datagram is one frame; a GRO-coalesced buffer
+                    // is walked at its segment stride (the envelope length
+                    // field re-validates every chunk, so a mis-sliced
+                    // boundary surfaces as a decode error, never a bad
+                    // frame). The walk borrows the pooled slab in place —
+                    // no per-frame copy to split the super-datagram.
+                    let data: &[u8] = &buf;
+                    let stride = match seg as usize {
+                        0 => data.len().max(1),
+                        s => s,
+                    };
+                    let mut off = 0;
+                    loop {
+                        let chunk = &data[off..(off + stride).min(data.len())];
+                        off += stride;
+                        let last = off >= data.len();
+                    // The labeled block is this frame's early-exit scope
+                    // (the old `continue`); falling out of it recycles
+                    // `buf`'s slab to the receive pool.
+                    'frame: {
+                        // Stage clocks: one extra clock read per stage,
+                        // only when a registry is attached.
+                        let dequeued = reg.as_ref().map(|m| {
+                            let now = clock.now();
+                            m.stage_queue.record(now.since(recv_at).as_secs_f64());
+                            now
+                        });
+                        // Zero-copy decode: every field reads straight out
+                        // of the pooled slab; only a delivered payload is
+                        // copied (below, into the packet).
+                        let env = match Envelope::decode_view(chunk) {
+                            Ok(env) => env,
+                            Err(e) => {
+                                counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                out.log.record(
+                                    clock.now(),
+                                    obs::TransportEventKind::DecodeError {
+                                        reason: e.label().to_string(),
+                                    },
+                                );
+                                decode_fail_count += 1;
+                                // Rate-limited: the first few in full, then
+                                // one sample per 256 so a corruption storm
+                                // cannot flood stderr.
+                                if decode_fail_count <= 5
+                                    || decode_fail_count.is_multiple_of(256)
+                                {
+                                    eprintln!(
+                                        "srm-node[{}]: rejected undecodable datagram ({e}); {} total",
+                                        out.src, decode_fail_count
+                                    );
+                                }
+                                break 'frame;
+                            }
+                        };
+                        if let (Some(m), Some(t0)) = (reg.as_ref(), dequeued) {
+                            m.stage_decode.record(clock.now().since(t0).as_secs_f64());
+                        }
+                        // Self-delivery (multicast loopback echo) and
+                        // traffic for groups we have not joined are the
+                        // network's job to withhold in the simulator;
+                        // filter them here — before the payload copy.
+                        if env.src == out.src
+                            || !joined.contains(&GroupId(env.group))
+                            || env.ttl == 0
+                        {
+                            break 'frame;
+                        }
+                        counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = reg.as_ref() {
+                            m.rx[flow_slot(env.flow)].inc();
+                        }
+                        rx_seq += 1;
+                        let pkt = Packet::new(
+                            // One observable hop on a mesh; real multicast
+                            // hop counts would need the received IP TTL,
+                            // which std sockets cannot read.
+                            env.ttl.saturating_sub(1),
+                            PacketBody {
+                                id: PacketId(rx_seq),
+                                src: NodeId(env.src),
+                                group: GroupId(env.group),
+                                dest: None,
+                                initial_ttl: env.initial_ttl,
+                                admin_scoped: env.admin_scoped,
+                                flow: env.flow,
+                                size: chunk.len() as u32,
+                                payload: Bytes::copy_from_slice(env.payload),
+                            },
+                        );
+                        let handle_t0 = reg.as_ref().map(|_| clock.now());
+                        with_driver!(|d| agent.drive_packet(d, &pkt));
+                        if let (Some(m), Some(t0)) = (reg.as_ref(), handle_t0) {
+                            m.stage_handle.record(clock.now().since(t0).as_secs_f64());
+                        }
+                    }
+                        if last {
+                            break;
+                        }
+                    }
+                    false
+                }
+                Event::Transport(at, kind) => {
+                    out.log.record(at, kind);
+                    false
+                }
+                Event::Exec(f) => {
+                    with_driver!(|d| f(&mut agent, d));
+                    false
+                }
+                Event::Shutdown => true,
+            }
+        }};
+    }
+
+    'reactor: loop {
         while let Some(token) = wheel.pop_expired(clock.now()) {
             with_driver!(|d| agent.drive_timer(d, token));
         }
-        // Release due held-back frames straight to the socket: the chaos
-        // verdict already ran when they were queued, so a frame is acted on
-        // at most once.
+        // Release due held-back frames to the send queue: the chaos verdict
+        // already ran when they were queued, so a frame is acted on at most
+        // once.
         while let Some(held) = delayq.pop_due(clock.now()) {
             out.send(clock.now(), held.group, held.payload, held.opts);
         }
-        publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness, agent.store());
+        // Everything the last wakeup produced goes out in batched syscalls.
+        out.flush(clock.now());
+        publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness, agent.store(), &rx_pool, &out.tx_pool);
         let deadline = match (wheel.next_deadline(), delayq.next_due()) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -1037,85 +1357,49 @@ fn run_reactor(
             Some(at) => clock.until(at).min(IDLE_WAIT),
             None => IDLE_WAIT,
         };
+        // Coalesced wakeup: block for one event, then drain whatever else
+        // is already queued (up to the window) before revisiting timers
+        // and flushing the sends those events produced.
+        let mut drained = 0u64;
         match rx.recv_timeout(wait) {
-            Ok(Event::Datagram(recv_at, buf)) => {
-                // Stage clocks: one extra clock read per stage, only when a
-                // registry is attached.
-                let dequeued = reg.as_ref().map(|m| {
-                    let now = clock.now();
-                    m.stage_queue.record(now.since(recv_at).as_secs_f64());
-                    now
-                });
-                let env = match Envelope::decode(&buf) {
-                    Ok(env) => env,
-                    Err(e) => {
-                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        out.log.record(
-                            clock.now(),
-                            obs::TransportEventKind::DecodeError { reason: e.label().to_string() },
-                        );
-                        decode_fail_count += 1;
-                        // Rate-limited: the first few in full, then one
-                        // sample per 256 so a corruption storm cannot flood
-                        // stderr.
-                        if decode_fail_count <= 5 || decode_fail_count.is_multiple_of(256) {
-                            eprintln!(
-                                "srm-node[{}]: rejected undecodable datagram ({e}); {} total",
-                                out.src, decode_fail_count
-                            );
-                        }
-                        continue;
+            Ok(ev) => {
+                drained += 1;
+                if handle_event!(ev) {
+                    break 'reactor;
+                }
+                while (drained as usize) < inbound_drain {
+                    // Keep the wire busy while draining: once a full send
+                    // batch has accumulated, flush it so the receivers
+                    // work in parallel with the rest of the window.
+                    if out.queue.len() >= out.max_batch {
+                        out.flush(clock.now());
                     }
-                };
-                if let (Some(m), Some(t0)) = (reg.as_ref(), dequeued) {
-                    m.stage_decode.record(clock.now().since(t0).as_secs_f64());
-                }
-                // Self-delivery (multicast loopback echo) and traffic for
-                // groups we have not joined are the network's job to
-                // withhold in the simulator; filter them here.
-                if env.src == out.src || !joined.contains(&GroupId(env.group)) || env.ttl == 0 {
-                    continue;
-                }
-                counters.frames_received.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = reg.as_ref() {
-                    m.rx[flow_slot(env.flow)].inc();
-                }
-                rx_seq += 1;
-                let pkt = Packet::new(
-                    // One observable hop on a mesh; real multicast hop
-                    // counts would need the received IP TTL, which std
-                    // sockets cannot read.
-                    env.ttl.saturating_sub(1),
-                    PacketBody {
-                        id: PacketId(rx_seq),
-                        src: NodeId(env.src),
-                        group: GroupId(env.group),
-                        dest: None,
-                        initial_ttl: env.initial_ttl,
-                        admin_scoped: env.admin_scoped,
-                        flow: env.flow,
-                        size: buf.len() as u32,
-                        payload: env.payload.clone(),
-                    },
-                );
-                let handle_t0 = reg.as_ref().map(|_| clock.now());
-                with_driver!(|d| agent.drive_packet(d, &pkt));
-                if let (Some(m), Some(t0)) = (reg.as_ref(), handle_t0) {
-                    m.stage_handle.record(clock.now().since(t0).as_secs_f64());
+                    match rx.try_recv() {
+                        Ok(ev) => {
+                            drained += 1;
+                            if handle_event!(ev) {
+                                break 'reactor;
+                            }
+                        }
+                        Err(_) => break,
+                    }
                 }
             }
-            Ok(Event::Transport(at, kind)) => {
-                out.log.record(at, kind);
-            }
-            Ok(Event::Exec(f)) => with_driver!(|d| f(&mut agent, d)),
-            Ok(Event::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break 'reactor,
             Err(mpsc::RecvTimeoutError::Timeout) => {}
         }
+        if drained > 0 {
+            if let Some(m) = reg.as_ref() {
+                m.batch_drain.record(drained as f64);
+            }
+        }
     }
+    // Anything the final events produced still goes out before shutdown.
+    out.flush(clock.now());
     // Clean shutdown: force the WAL tail onto stable storage so an orderly
     // exit loses nothing regardless of the fsync policy.
     agent.flush_store();
-    publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness, agent.store());
+    publish_reactor_counters(&counters, &tally, wheel.len(), delayq.len(), reg.as_ref(), &agent.liveness, agent.store(), &rx_pool, &out.tx_pool);
     // Pin the queue peaks into the offline event stream (no-op when the log
     // is disabled), then merge the reactor-side logs into the agent's
     // transport stream so one per-member event sequence survives harvesting.
@@ -1135,6 +1419,7 @@ fn run_reactor(
 /// Publish the reactor-owned tallies and high-water marks to the shared
 /// atomic counters (the tallies are cumulative, so a store is correct),
 /// and refresh the registry mirrors when one is attached.
+#[allow(clippy::too_many_arguments)]
 fn publish_reactor_counters(
     counters: &Counters,
     tally: &ChaosTally,
@@ -1143,6 +1428,8 @@ fn publish_reactor_counters(
     reg: Option<&RegHandles>,
     liveness: &srm::PeerLiveness,
     store: &srm::AduStore,
+    rx_pool: &BufferPool,
+    tx_pool: &BufferPool,
 ) {
     counters.chaos_dropped.store(tally.dropped, Ordering::Relaxed);
     counters.chaos_duplicated.store(tally.duplicated, Ordering::Relaxed);
@@ -1168,6 +1455,12 @@ fn publish_reactor_counters(
     m.recv_respawns.set_total(counters.recv_respawns.load(Ordering::Relaxed));
     m.recv_deaths.set_total(counters.recv_deaths.load(Ordering::Relaxed));
     m.mode_fallbacks.set_total(counters.mode_fallbacks.load(Ordering::Relaxed));
+    m.inbound_overflow.set_total(counters.inbound_overflow.load(Ordering::Relaxed));
+    let (rx_used, rx_cap) = rx_pool.occupancy();
+    let (tx_used, tx_cap) = tx_pool.occupancy();
+    m.pool_in_use.set(rx_used + tx_used);
+    m.pool_capacity.set(rx_cap + tx_cap);
+    m.pool_misses.set_total(rx_pool.stats().1 + tx_pool.stats().1);
     m.liveness_suspected.set_total(liveness.suspected_total);
     m.liveness_died.set_total(liveness.died_total);
     m.liveness_revived.set_total(liveness.revived_total);
@@ -1196,7 +1489,7 @@ fn publish_reactor_counters(
 /// Client handle to a running node; drop (or [`NodeHandle::shutdown`])
 /// stops it.
 pub struct NodeHandle {
-    tx: mpsc::Sender<Event>,
+    tx: mpsc::SyncSender<Event>,
     thread: Option<thread::JoinHandle<SrmAgent>>,
     addr: SocketAddr,
     id: SourceId,

@@ -52,3 +52,20 @@ if [ -f BENCH_4.json ]; then
 fi
 ./target/release/scale run $QUICK "${MERGE[@]}" --label "$LABEL" --out BENCH_4.json
 echo "bench: wrote BENCH_4.json"
+
+echo "== live macro-benchmark (wall-clock UDP datapath) =="
+cargo build --release -p srm-bench --bin live
+
+# Live-path regression guard: the fresh datapath (best of five) must stay
+# within 1.25x of the committed BENCH_9.json numbers before they are
+# refreshed.
+if [ -f BENCH_9.json ]; then
+  echo "== live-path regression guard (vs committed BENCH_9.json) =="
+  ./target/release/live check --against BENCH_9.json --tolerance 1.25 $QUICK
+fi
+MERGE9=()
+if [ -f BENCH_9.json ]; then
+  MERGE9=(--merge-baseline BENCH_9.json)
+fi
+./target/release/live run $QUICK --best 5 "${MERGE9[@]}" --label "$LABEL" --out BENCH_9.json
+echo "bench: wrote BENCH_9.json"

@@ -26,6 +26,9 @@ cargo test -q --test transport_loopback
 echo "== transport chaos (seeded determinism, wheel churn, blackhole heal) =="
 cargo test -q --test transport_chaos
 
+echo "== transport batch equivalence (batched vs portable backends, byte-identical) =="
+cargo test -q --test transport_batch
+
 echo "== soak smoke (bounded chaos run, invariant gate; DESIGN.md §9) =="
 timeout 60 ./target/release/srm-node soak --nodes 3 --secs 3 --adus 2 --seed 7 \
     --chaos "loss=0.1,dup=0.05,reorder=0.15:30ms,jitter=20ms,burst=0.9@1s+1.5s,blackhole=2@1s+1.5s"
@@ -92,6 +95,15 @@ cargo build --release -p srm-bench --bin scale
 
 echo "== bench regression gate (best-of-5 re-measure vs committed BENCH_4.json) =="
 ./target/release/scale check --against BENCH_4.json --tolerance 1.25
+
+echo "== live bench smoke (quick run + report validation) =="
+cargo build --release -p srm-bench --bin live
+./target/release/live run --quick --label ci-smoke --out target/live_smoke.json
+./target/release/live validate target/live_smoke.json
+./target/release/live validate BENCH_9.json
+
+echo "== live-path regression gate (best-of-5 re-measure vs committed BENCH_9.json) =="
+./target/release/live check --against BENCH_9.json --tolerance 1.25
 
 echo "== clippy (workspace, warnings are errors) =="
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CPU-profile the live UDP datapath with perf(1).
+#
+# Usage: scripts/profile.sh [BENCH ...]
+#
+#   BENCH            extra args forwarded to `live run` (default: --quick)
+#
+# Records the `live` macro-benchmark under `perf record` with DWARF call
+# graphs, prints the hottest frames, and — when a FlameGraph toolchain
+# (stackcollapse-perf.pl / flamegraph.pl) is on PATH — renders
+# target/profile/flame.svg.
+#
+# Degrades gracefully: containers and locked-down kernels often lack
+# perf(1) or forbid perf_event_open; in that case this prints what to
+# install and exits 0 so calling scripts never break. The fallback for
+# perf-less environments is the benchmark's own instrumentation:
+# LIVE_DEBUG=1 ./target/release/live run --quick prints the send/recv
+# batch-size and drain histograms that expose most datapath regressions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v perf >/dev/null 2>&1; then
+  cat >&2 <<'EOF'
+profile: perf(1) not found on PATH; skipping CPU profile.
+
+  To profile for real, install linux-tools for your kernel (e.g.
+  `apt install linux-tools-$(uname -r)`) and re-run. Until then, the
+  datapath's built-in instrumentation covers the common cases:
+
+    LIVE_DEBUG=1 ./target/release/live run --quick
+
+  prints per-bench send-batch / recv-batch / drain histogram quantiles
+  (p50/p90/p99) — a collapse of recv-batch p90 toward 1 means the
+  batching layer degenerated to one syscall per frame.
+EOF
+  exit 0
+fi
+
+cargo build --release -p srm-bench --bin live
+
+OUT_DIR=target/profile
+mkdir -p "$OUT_DIR"
+DATA="$OUT_DIR/perf.data"
+
+echo "== perf record (live datapath, DWARF call graphs) =="
+# 997 Hz: prime sampling rate, avoids lockstep with periodic timers.
+perf record -F 997 -g --call-graph dwarf -o "$DATA" -- \
+  ./target/release/live run "${@:---quick}"
+
+echo "== hottest frames =="
+perf report -i "$DATA" --stdio --percent-limit 1 | head -60
+
+if command -v stackcollapse-perf.pl >/dev/null 2>&1 \
+  && command -v flamegraph.pl >/dev/null 2>&1; then
+  echo "== flamegraph =="
+  perf script -i "$DATA" | stackcollapse-perf.pl | flamegraph.pl \
+    > "$OUT_DIR/flame.svg"
+  echo "profile: wrote $OUT_DIR/flame.svg"
+else
+  echo "profile: flamegraph.pl not on PATH; raw data at $DATA" \
+    "(render later with: perf script -i $DATA | stackcollapse-perf.pl | flamegraph.pl)"
+fi
