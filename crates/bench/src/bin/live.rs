@@ -20,6 +20,14 @@
 //!   sender; the run ends when SRM's request/repair machinery has
 //!   recovered every gap. Packets/sec here includes the recovery traffic
 //!   — the number the paper's receiver-driven design actually lives on.
+//! - `hub_fanout` / `fanout_pairs8`: the multi-session hub against its
+//!   own null hypothesis. `hub_fanout` runs one [`Hub`] hosting 8 groups
+//!   (shared demux socket, 4 shard reactors), each publishing to its own
+//!   receiver node; `fanout_pairs8` runs the same 8 sessions as 8
+//!   independent single-session pair runtimes. The pair of numbers pins
+//!   the consolidation tax: the hub's aggregate delivered throughput must
+//!   stay within 2x of the fleet-of-processes baseline (`run` warns when
+//!   it does not).
 //!
 //! Each bench also reports receive-stage latency quantiles (recv-thread
 //! capture → reactor dequeue, and agent handling) from the live
@@ -46,7 +54,9 @@ use bytes::Bytes;
 use netsim::{GroupId, SimDuration};
 use srm::{PageId, SourceId, SrmConfig};
 use srm_sim::json::Json;
-use srm_transport::{parse_spec, Harness, NodeOptions};
+use srm_transport::{
+    parse_spec, BatchOptions, GroupSpec, Harness, Hub, HubOptions, Mode, Node, NodeOptions,
+};
 use std::time::{Duration, Instant};
 
 /// One measured benchmark.
@@ -79,6 +89,17 @@ fn seed_distances(n: usize, opts: &mut NodeOptions, d: SimDuration) {
 /// hop, small enough to keep the reactor responsive to its own timers.
 const SEND_CHUNK: usize = 256;
 
+/// Flood benches measure the datapath, not the shed policy: give the
+/// inbound channel and receive pool room for the whole burst.
+fn tune_batch(b: &mut BatchOptions, portable: bool) {
+    b.force_portable = portable;
+    b.inbound_capacity = 65_536;
+    b.pool_slabs = 512;
+    b.recv_batch = 256;
+    b.send_batch = 256;
+    b.inbound_drain = 1024;
+}
+
 /// Drive one flood-or-churn session: `n` nodes, member 1 publishes `adus`
 /// ADUs of `payload_len` bytes flat out, and the clock stops when every
 /// other member has delivered all of them (or `deadline` passes — the
@@ -100,14 +121,7 @@ fn run_session(
     let regs_for_nodes = regs.clone();
     let h = Harness::loopback(n, GroupId(1), &cfg, |i, addrs, o| {
         o.metrics = Some(regs_for_nodes[i].clone());
-        // Flood benches measure the datapath, not the shed policy: give the
-        // inbound channel and receive pool room for the whole burst.
-        o.batch.force_portable = portable;
-        o.batch.inbound_capacity = 65_536;
-        o.batch.pool_slabs = 512;
-        o.batch.recv_batch = 256;
-        o.batch.send_batch = 256;
-        o.batch.inbound_drain = 1024;
+        tune_batch(&mut o.batch, portable);
         seed_distances(n, o, SimDuration::from_millis(10));
         if i == 0 {
             if let Some(spec) = chaos {
@@ -218,6 +232,215 @@ fn churn_repair(quick: bool, portable: bool) -> BenchResult {
     )
 }
 
+/// Groups hosted (hub) / pair sessions run (baseline) by the fanout pair.
+const FAN_GROUPS: u32 = 8;
+
+fn fan_adus(quick: bool) -> u32 {
+    if quick {
+        1_500
+    } else {
+        6_000
+    }
+}
+
+/// One hub, `FAN_GROUPS` groups, one receiver node per group: aggregate
+/// delivered throughput of the consolidated multi-session host. Publishing
+/// runs from one thread per group so every shard reactor is kept busy, the
+/// way a loaded hub would be.
+fn hub_fanout(quick: bool, portable: bool) -> BenchResult {
+    let adus = fan_adus(quick);
+    let mut hub_opts = HubOptions {
+        shards: 4,
+        ..HubOptions::default()
+    };
+    tune_batch(&mut hub_opts.batch, portable);
+    let hub = Hub::spawn("127.0.0.1:0".parse().unwrap(), hub_opts).expect("bind hub");
+
+    let mut regs = Vec::new();
+    let mut receivers = Vec::new();
+    for g in 1..=FAN_GROUPS {
+        let reg = obs::MetricsRegistry::new();
+        let mut o = NodeOptions::new(SourceId(2), GroupId(g), SrmConfig::fixed(2));
+        o.metrics = Some(reg.clone());
+        tune_batch(&mut o.batch, portable);
+        o.initial_distances
+            .push((SourceId(1), SimDuration::from_millis(10)));
+        let node = Node::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            Mode::Mesh {
+                peers: vec![hub.local_addr()],
+            },
+            o,
+        )
+        .expect("bind fanout receiver");
+        hub.create(
+            GroupSpec {
+                group: g,
+                peers: vec![node.local_addr()],
+                id: 1,
+                members: 2,
+                rate: None,
+                burst: None,
+                dist_ms: Some(10),
+            },
+            false,
+        )
+        .expect("create fanout group");
+        regs.push(reg);
+        receivers.push(node);
+    }
+
+    // 61-byte payloads ("xx…x #N"), matching the 64-byte flood floor.
+    let text = "x".repeat(57);
+    let start = Instant::now();
+    let senders: Vec<_> = (1..=FAN_GROUPS)
+        .map(|g| {
+            let hub = hub.clone();
+            let text = text.clone();
+            std::thread::spawn(move || hub.send(g, &text, adus).expect("hub publishes"))
+        })
+        .collect();
+    for s in senders {
+        s.join().expect("fanout sender thread");
+    }
+
+    let want = (FAN_GROUPS * adus) as usize;
+    let stop_at = start + Duration::from_secs(120);
+    let mut delivered = 0usize;
+    while delivered < want && Instant::now() < stop_at {
+        for node in &receivers {
+            delivered += node.take_delivered().len();
+        }
+        if delivered < want {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    if delivered < want {
+        eprintln!(
+            "live: WARNING hub_fanout: only {delivered}/{want} ADUs delivered within 120s; \
+             rating what arrived"
+        );
+    }
+
+    let st = hub.stats();
+    assert_eq!(
+        st.frames_attempted,
+        st.frames_sent + st.send_errors,
+        "hub frame accounting broke under load"
+    );
+    let q = |hist: &str, quant: f64| -> f64 {
+        regs[0]
+            .histogram(hist)
+            .snapshot()
+            .quantile(quant)
+            .map(|s| s * 1e6)
+            .unwrap_or(0.0)
+    };
+    let result = BenchResult {
+        name: "hub_fanout",
+        packets: delivered as u64,
+        secs,
+        pps: delivered as f64 / secs,
+        queue_p50_us: q("stage.queue_s", 0.50),
+        queue_p99_us: q("stage.queue_s", 0.99),
+        handle_p50_us: q("stage.handle_s", 0.50),
+        handle_p99_us: q("stage.handle_s", 0.99),
+    };
+    for node in receivers {
+        drop(node.shutdown());
+    }
+    hub.shutdown();
+    result
+}
+
+/// The fleet-of-processes null hypothesis for `hub_fanout`: the same
+/// `FAN_GROUPS` sessions as independent single-session pair runtimes, run
+/// concurrently, rated as one aggregate.
+fn fanout_pairs8(quick: bool, portable: bool) -> BenchResult {
+    let adus = fan_adus(quick) as usize;
+    let regs: Vec<obs::MetricsRegistry> = (0..FAN_GROUPS)
+        .map(|_| obs::MetricsRegistry::new())
+        .collect();
+    // Bind every pair before the clock starts — the hub bench creates its
+    // groups outside the timed window too, so this stays apples-to-apples.
+    let harnesses: Vec<Harness> = (1..=FAN_GROUPS)
+        .map(|g| {
+            let reg = regs[(g - 1) as usize].clone();
+            let cfg = SrmConfig::fixed(2);
+            Harness::loopback(2, GroupId(g), &cfg, |i, _addrs, o| {
+                tune_batch(&mut o.batch, portable);
+                seed_distances(2, o, SimDuration::from_millis(10));
+                if i == 1 {
+                    o.metrics = Some(reg.clone());
+                }
+            })
+            .expect("bind fanout pair")
+        })
+        .collect();
+    let start = Instant::now();
+    let workers: Vec<_> = harnesses
+        .into_iter()
+        .map(|h| {
+            std::thread::spawn(move || {
+                let page = PageId::new(SourceId(1), 0);
+                let payload = Bytes::from(vec![0x5Au8; 64]);
+                let mut queued = 0usize;
+                while queued < adus {
+                    let burst = SEND_CHUNK.min(adus - queued);
+                    let p = payload.clone();
+                    h.nodes[0].exec(move |a, d| {
+                        for _ in 0..burst {
+                            a.send_data(d, page, p.clone());
+                        }
+                    });
+                    queued += burst;
+                }
+                let stop_at = Instant::now() + Duration::from_secs(120);
+                let mut delivered = 0usize;
+                while delivered < adus && Instant::now() < stop_at {
+                    delivered += h.nodes[1].take_delivered().len();
+                    if delivered < adus {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                drop(h.shutdown());
+                delivered
+            })
+        })
+        .collect();
+    let delivered: usize = workers
+        .into_iter()
+        .map(|w| w.join().expect("fanout pair thread"))
+        .sum();
+    let secs = start.elapsed().as_secs_f64();
+    let want = adus * FAN_GROUPS as usize;
+    if delivered < want {
+        eprintln!(
+            "live: WARNING fanout_pairs8: only {delivered}/{want} ADUs delivered within 120s; \
+             rating what arrived"
+        );
+    }
+    let q = |hist: &str, quant: f64| -> f64 {
+        regs[0]
+            .histogram(hist)
+            .snapshot()
+            .quantile(quant)
+            .map(|s| s * 1e6)
+            .unwrap_or(0.0)
+    };
+    BenchResult {
+        name: "fanout_pairs8",
+        packets: delivered as u64,
+        secs,
+        pps: delivered as f64 / secs,
+        queue_p50_us: q("stage.queue_s", 0.50),
+        queue_p99_us: q("stage.queue_s", 0.99),
+        handle_p50_us: q("stage.handle_s", 0.50),
+        handle_p99_us: q("stage.handle_s", 0.99),
+    }
+}
+
 /// Best-of-`reps` on *throughput*: load spikes only ever push pps down,
 /// so the maximum over repetitions is the robust estimator (quantiles ride
 /// along from the winning repetition).
@@ -239,6 +462,8 @@ fn measure(quick: bool, portable: bool) -> Vec<BenchResult> {
         ("flood_pair", flood_pair as fn(bool, bool) -> BenchResult),
         ("flood_mesh4", flood_mesh4),
         ("churn_repair", churn_repair),
+        ("hub_fanout", hub_fanout),
+        ("fanout_pairs8", fanout_pairs8),
     ] {
         eprintln!(
             "live: running {name} ({}{})...",
@@ -252,6 +477,23 @@ fn measure(quick: bool, portable: bool) -> Vec<BenchResult> {
             r.pps, r.packets, r.secs, r.queue_p50_us, r.queue_p99_us, r.handle_p50_us, r.handle_p99_us
         );
         out.push(r);
+    }
+    // The fanout pair exists to be compared: report the consolidation tax
+    // whenever both sides were measured, and warn past the 2x acceptance
+    // line (hub aggregate must stay >= 0.5x of the independent fleet).
+    let find = |name: &str| out.iter().find(|b| b.name == name).map(|b| b.pps);
+    if let (Some(hub), Some(pairs)) = (find("hub_fanout"), find("fanout_pairs8")) {
+        let ratio = pairs / hub.max(f64::EPSILON);
+        eprintln!(
+            "live: hub_fanout consolidation tax: {:.2}x slower than fanout_pairs8 \
+             ({hub:.0} vs {pairs:.0} pkts/s){}",
+            ratio,
+            if ratio > 2.0 {
+                " — EXCEEDS the 2x budget"
+            } else {
+                ""
+            }
+        );
     }
     out
 }

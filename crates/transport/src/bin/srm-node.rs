@@ -68,7 +68,7 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
                 [--duration SECS] [--refresh F] [--out FILE]
                 [--suspect F] [--dead F] [--quiet]
        srm-node soak [--nodes N] [--secs F] [--adus N] [--chaos SPEC]
-                [--seed N] [--settle F] [--trace FILE]
+                [--seed N] [--settle F] [--group N] [--trace FILE]
 
   join        participate in the session (receive, request, repair)
   send        also multicast each --text as one ADU
@@ -121,7 +121,8 @@ usage: srm-node <join|send> --id N --bind ADDR (--peers A,B,.. | --mcast ADDR)
   --nodes N   mesh size (default 3)
   --secs F    scripted phase seconds (default 6)
   --adus N    ADUs each member publishes (default 4)
-  --settle F  post-heal recovery budget in seconds (default 30)";
+  --settle F  post-heal recovery budget in seconds (default 30)
+  --group N   multicast group the mesh runs on (default 1)";
 
 struct Args {
     send_mode: bool,
@@ -581,6 +582,11 @@ fn run_soak(mut argv: impl Iterator<Item = String>) -> ! {
                     .parse()
                     .unwrap_or_else(|_| die("--settle must be seconds"));
                 opts.settle = Duration::from_secs_f64(secs.max(0.0));
+            }
+            "--group" => {
+                opts.group = next(&mut argv, "--group")
+                    .parse()
+                    .unwrap_or_else(|_| die("--group must be a group id"));
             }
             "--trace" => {
                 trace_path = Some(next(&mut argv, "--trace"));

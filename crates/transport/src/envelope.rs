@@ -136,6 +136,26 @@ impl Envelope {
         Ok(Envelope::decode_view(buf)?.to_owned())
     }
 
+    /// The cheap pre-decode filter: validate only the fixed-position header
+    /// prefix (length, magic, version) and return the destination group id
+    /// without touching the payload or the length field. This is what a
+    /// demultiplexer needs to route a frame — anything that passes here and
+    /// later fails [`Envelope::decode_view`] still fails *in the same way*
+    /// on whichever shard receives it, so prechecking never changes a
+    /// frame's fate, only where that fate is decided.
+    pub fn precheck(buf: &[u8]) -> Result<u32, EnvelopeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(EnvelopeError::Truncated);
+        }
+        if buf[0..4] != MAGIC {
+            return Err(EnvelopeError::BadMagic);
+        }
+        if buf[4] != VERSION {
+            return Err(EnvelopeError::BadVersion(buf[4]));
+        }
+        Ok(u32::from_be_bytes(buf[9..13].try_into().expect("4 bytes")))
+    }
+
     /// Parse one received datagram *in place*: every field is read out of
     /// `buf` and the payload stays a borrow of it, so the reactor can
     /// filter (self-delivery, unjoined group, zero TTL) before paying for
@@ -301,6 +321,25 @@ mod tests {
                 (a, b) => panic!("decoders disagree at bit {bit}: {a:?} vs {b:?}"),
             }
         }
+    }
+
+    #[test]
+    fn precheck_agrees_with_full_decode_on_routing() {
+        // precheck(ok) must report the same group decode_view would, and a
+        // precheck rejection must be a decode_view rejection too (the
+        // reverse need not hold: a length mismatch passes precheck).
+        let wire = sample().encode();
+        assert_eq!(Envelope::precheck(&wire), Ok(sample().group));
+        for cut in 0..wire.len() {
+            match (Envelope::precheck(&wire[..cut]), Envelope::decode_view(&wire[..cut])) {
+                (Ok(g), _) => assert_eq!(g, sample().group),
+                (Err(_), Ok(_)) => panic!("precheck rejected a decodable frame at cut {cut}"),
+                (Err(_), Err(_)) => {}
+            }
+        }
+        let mut bad = wire.to_vec();
+        bad[0] = b'X';
+        assert_eq!(Envelope::precheck(&bad), Err(EnvelopeError::BadMagic));
     }
 
     #[test]

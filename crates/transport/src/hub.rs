@@ -1,0 +1,747 @@
+//! srm-hub: many SRM sessions in one process, over one shared socket.
+//!
+//! The paper's sessions are *light-weight* (§I): all per-session state is
+//! an agent, a timer wheel, an RNG, and a peer list. A whole host process
+//! per session therefore wastes the expensive parts — sockets, threads,
+//! kernel buffers — on state that costs almost nothing. The hub inverts
+//! that: **one** batched UDP socket and a small fixed pool of shard
+//! reactors host arbitrarily many groups.
+//!
+//! ```text
+//!                   ┌───────────── hub process ─────────────┐
+//!   UDP ──recv──▶ demux ──group id──▶ shard 0 ─▶ agents g1,g5,…
+//!   socket          │ (precheck only) shard 1 ─▶ agents g2,g6,…
+//!     ▲             │                 …
+//!     └──────send───┴──── every shard sends on a socket clone
+//! ```
+//!
+//! The demux thread reads only the envelope prefix
+//! ([`Envelope::precheck`]: magic, version, group id) and routes each
+//! frame to `shard_of(group)` — the full decode, and every protocol
+//! decision, happens on the owning shard, so the inbound path stays
+//! zero-copy: the pooled receive buffer itself travels down the shard
+//! channel. The one exception is a GRO-coalesced buffer whose segments
+//! straddle shards; it is split with per-segment copies and counted
+//! (`demux_splits`), so the cost is visible, rare, and never silent.
+//!
+//! Control (create/join/send/drain/stats/stop) arrives as line-JSON via
+//! [`crate::control`]; per-group token buckets (§III-E) meter each
+//! session's send rate with refusals counted as `quota_overflow`. The
+//! frame-accounting invariant of the single-node runtime carries over
+//! hub-wide: `frames_attempted == frames_sent + send_errors`, because
+//! quota refusals (like chaos drops) happen before the fan-out.
+
+use crate::batch::{make_backend, BatchOptions, RecvFrame};
+use crate::clock::WallClock;
+use crate::control::GroupSpec;
+use crate::envelope::Envelope;
+use crate::pool::{BufferPool, PoolBuf};
+use crate::shard::{
+    run_shard, DrainOutcome, GroupStats, ShardCommand, ShardConfig, ShardEvent, ShardReply,
+};
+use crate::supervise::{run_supervised, ExitReason, StepOutcome, SupervisePolicy};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Read timeout on the demux thread's socket, bounding shutdown latency.
+const RECV_POLL: Duration = Duration::from_millis(25);
+/// How long a control call waits for its shard's reply before declaring
+/// the shard wedged.
+const RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Hub-wide frame accounting, shared by the demux thread and every shard.
+///
+/// The invariant from the single-node runtime holds across the whole hub:
+/// `frames_attempted == frames_sent + send_errors` once the shards are
+/// quiescent, regardless of quota pressure (refusals never reach the
+/// fan-out).
+#[derive(Default)]
+pub(crate) struct HubCounters {
+    pub frames_attempted: AtomicU64,
+    pub frames_sent: AtomicU64,
+    pub send_errors: AtomicU64,
+    pub rx_frames: AtomicU64,
+    pub rx_undecodable: AtomicU64,
+    pub rx_unjoined_group: AtomicU64,
+    pub inbound_overflow: AtomicU64,
+    pub demux_splits: AtomicU64,
+}
+
+/// Point-in-time rollup of the whole hub: per-group counters plus the
+/// shared frame accounting.
+#[derive(Clone, Debug, Default)]
+pub struct HubStats {
+    /// Every hosted group, sorted by group id (stable across shard
+    /// assignment).
+    pub groups: Vec<GroupStats>,
+    /// Unicast fan-out frames handed to the send path.
+    pub frames_attempted: u64,
+    /// Fan-out frames the kernel accepted.
+    pub frames_sent: u64,
+    /// Fan-out frames the kernel refused.
+    pub send_errors: u64,
+    /// Frames routed to a hosted group's agent.
+    pub rx_frames: u64,
+    /// Datagrams (or GRO segments) that failed the envelope precheck or
+    /// decode.
+    pub rx_undecodable: u64,
+    /// Well-formed frames for a group no shard hosts — the hub-side
+    /// analogue of the node's `rx_unjoined_group`.
+    pub rx_unjoined_group: u64,
+    /// Datagrams shed because a shard's bounded channel was full.
+    pub inbound_overflow: u64,
+    /// GRO buffers whose segments straddled shards and had to be split
+    /// with per-segment copies (the only non-zero-copy inbound path).
+    pub demux_splits: u64,
+}
+
+impl HubStats {
+    /// The `stats` control reply: one JSON line, fixed key order, groups
+    /// sorted by id. Counters are live, so this is the one control reply
+    /// the golden test does not pin byte-for-byte.
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!(
+            "{{\"ok\":true,\"cmd\":\"stats\",\"hub\":{{\"frames_attempted\":{},\"frames_sent\":{},\
+             \"send_errors\":{},\"rx_frames\":{},\"rx_undecodable\":{},\"rx_unjoined_group\":{},\
+             \"inbound_overflow\":{},\"demux_splits\":{}}},\"groups\":[",
+            self.frames_attempted,
+            self.frames_sent,
+            self.send_errors,
+            self.rx_frames,
+            self.rx_undecodable,
+            self.rx_unjoined_group,
+            self.inbound_overflow,
+            self.demux_splits,
+        );
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"group\":{},\"shard\":{},\"members\":{},\"rx_frames\":{},\"tx_frames\":{},\
+                 \"delivered\":{},\"data_sent\":{},\"repairs_sent\":{},\"session_sent\":{},\
+                 \"quota_overflow\":{}}}",
+                g.group,
+                g.shard,
+                g.members,
+                g.rx_frames,
+                g.tx_frames,
+                g.delivered,
+                g.data_sent,
+                g.repairs_sent,
+                g.session_sent,
+                g.quota_overflow,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Which shard hosts a group: a splitmix-style mix of the group id, mod
+/// the shard count. Stable for the hub's lifetime (and across hubs with
+/// the same shard count), independent of creation order, and spread even
+/// for the small consecutive ids sessions actually use — `tests/hub.rs`
+/// property-checks the partition against this function.
+pub fn shard_of(group: u32, shards: usize) -> usize {
+    let n = shards.max(1) as u64;
+    let mut x = u64::from(group).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((x ^ (x >> 31)) % n) as usize
+}
+
+/// Hub spawn configuration.
+#[derive(Clone, Debug)]
+pub struct HubOptions {
+    /// Shard reactor count (each is one thread hosting many groups).
+    pub shards: usize,
+    /// Hub seed; each group's RNG derives from it via
+    /// [`crate::shard::group_seed`], so replays are per-group stable no
+    /// matter which shard hosts the group.
+    pub seed: u64,
+    /// Batched-datapath tuning, shared by the demux thread and every
+    /// shard's send half.
+    pub batch: BatchOptions,
+    /// Live metrics registry: per-group counters land as `hub.g{G}.*`,
+    /// shard gauges as `hub.shard{i}.*`.
+    pub metrics: Option<obs::MetricsRegistry>,
+    /// Durable-store root: group `g` logs under `<root>/<g>/`.
+    pub store_root: Option<PathBuf>,
+    /// Demux recv-thread supervision (classify/backoff/respawn).
+    pub supervision: SupervisePolicy,
+}
+
+impl Default for HubOptions {
+    fn default() -> Self {
+        HubOptions {
+            shards: 4,
+            seed: 1,
+            batch: BatchOptions::default(),
+            metrics: None,
+            store_root: None,
+            supervision: SupervisePolicy::default(),
+        }
+    }
+}
+
+/// What `create`/`join` report back.
+#[derive(Clone, Copy, Debug)]
+pub struct CreateOutcome {
+    /// The shard now hosting the group.
+    pub shard: usize,
+    /// `join` only: the group already existed.
+    pub already: bool,
+}
+
+struct HubInner {
+    addr: SocketAddr,
+    shard_tx: Vec<mpsc::SyncSender<ShardEvent>>,
+    counters: Arc<HubCounters>,
+    stop: Arc<AtomicBool>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+    stopped: AtomicBool,
+    metrics: Option<HubReg>,
+}
+
+/// Hub-level registry mirrors, refreshed on every `stats()` call (the
+/// hub has no central reactor loop to refresh them from).
+struct HubReg {
+    frames_attempted: obs::Counter,
+    frames_sent: obs::Counter,
+    send_errors: obs::Counter,
+    rx_frames: obs::Counter,
+    rx_undecodable: obs::Counter,
+    rx_unjoined: obs::Counter,
+    inbound_overflow: obs::Counter,
+    demux_splits: obs::Counter,
+}
+
+impl HubReg {
+    fn new(reg: &obs::MetricsRegistry) -> Self {
+        HubReg {
+            frames_attempted: reg.counter("hub.frames_attempted"),
+            frames_sent: reg.counter("hub.frames_sent"),
+            send_errors: reg.counter("hub.send_errors"),
+            rx_frames: reg.counter("hub.rx_frames"),
+            rx_undecodable: reg.counter("hub.rx_undecodable"),
+            rx_unjoined: reg.counter("hub.rx_unjoined_group"),
+            inbound_overflow: reg.counter("hub.inbound_overflow"),
+            demux_splits: reg.counter("hub.demux_splits"),
+        }
+    }
+
+    fn refresh(&self, c: &HubCounters) {
+        self.frames_attempted.set_total(c.frames_attempted.load(Ordering::Relaxed));
+        self.frames_sent.set_total(c.frames_sent.load(Ordering::Relaxed));
+        self.send_errors.set_total(c.send_errors.load(Ordering::Relaxed));
+        self.rx_frames.set_total(c.rx_frames.load(Ordering::Relaxed));
+        self.rx_undecodable.set_total(c.rx_undecodable.load(Ordering::Relaxed));
+        self.rx_unjoined.set_total(c.rx_unjoined_group.load(Ordering::Relaxed));
+        self.inbound_overflow.set_total(c.inbound_overflow.load(Ordering::Relaxed));
+        self.demux_splits.set_total(c.demux_splits.load(Ordering::Relaxed));
+    }
+}
+
+/// Spawner for hub runtimes.
+pub struct Hub;
+
+impl Hub {
+    /// Bind `bind` and start a hub there.
+    pub fn spawn(bind: SocketAddr, opts: HubOptions) -> io::Result<HubHandle> {
+        Hub::spawn_on(UdpSocket::bind(bind)?, opts)
+    }
+
+    /// Start a hub on an already-bound socket.
+    pub fn spawn_on(socket: UdpSocket, opts: HubOptions) -> io::Result<HubHandle> {
+        let addr = socket.local_addr()?;
+        // One call covers every clone: dup'd descriptors share the socket,
+        // and N shards can burst flushes into the same kernel buffer.
+        crate::batch::configure_socket_buffers(&socket, opts.batch.socket_bufs);
+
+        let shards = opts.shards.max(1);
+        let counters = Arc::new(HubCounters::default());
+        let clock = WallClock::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut shard_tx = Vec::with_capacity(shards);
+        let mut threads = Vec::with_capacity(shards + 1);
+
+        for index in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardEvent>(opts.batch.inbound_capacity.max(1));
+            shard_tx.push(tx);
+            let send = make_backend(socket.try_clone()?, &opts.batch);
+            let cfg = ShardConfig {
+                index,
+                seed: opts.seed,
+                clock: clock.clone(),
+                batch: opts.batch,
+                metrics: opts.metrics.clone(),
+                store_root: opts.store_root.clone(),
+                counters: Arc::clone(&counters),
+            };
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("srm-hub-shard{index}"))
+                    .spawn(move || run_shard(cfg, send, rx))?,
+            );
+        }
+
+        let demux_txs = shard_tx.clone();
+        let demux_counters = Arc::clone(&counters);
+        let demux_stop = Arc::clone(&stop);
+        let demux_clock = clock;
+        let policy = opts.supervision;
+        let batch = opts.batch;
+        threads.push(
+            thread::Builder::new()
+                .name("srm-hub-demux".to_string())
+                .spawn(move || {
+                    run_demux_supervised(
+                        &policy,
+                        socket,
+                        addr,
+                        batch,
+                        demux_clock,
+                        demux_txs,
+                        demux_counters,
+                        demux_stop,
+                    )
+                })?,
+        );
+
+        Ok(HubHandle {
+            inner: Arc::new(HubInner {
+                addr,
+                shard_tx,
+                counters,
+                stop,
+                threads: Mutex::new(threads),
+                stopped: AtomicBool::new(false),
+                metrics: opts.metrics.as_ref().map(HubReg::new),
+            }),
+        })
+    }
+}
+
+/// Cloneable handle to a running hub; the control plane and tests drive
+/// everything through it.
+#[derive(Clone)]
+pub struct HubHandle {
+    inner: Arc<HubInner>,
+}
+
+impl HubHandle {
+    /// The shared socket's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Shard count (fixed at spawn).
+    pub fn shards(&self) -> usize {
+        self.inner.shard_tx.len()
+    }
+
+    fn rpc(
+        &self,
+        shard: usize,
+        build: impl FnOnce(mpsc::SyncSender<ShardReply>) -> ShardCommand,
+    ) -> Result<ShardReply, String> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.inner.shard_tx[shard]
+            .send(ShardEvent::Command(build(tx)))
+            .map_err(|_| format!("shard {shard} is down"))?;
+        rx.recv_timeout(RPC_TIMEOUT)
+            .map_err(|_| format!("shard {shard} did not reply"))
+    }
+
+    /// Host a group on its hash-assigned shard. `idempotent` is `join`
+    /// semantics: a duplicate reports `already:true` instead of an error.
+    pub fn create(&self, spec: GroupSpec, idempotent: bool) -> Result<CreateOutcome, String> {
+        let shard = shard_of(spec.group, self.shards());
+        match self.rpc(shard, |reply| ShardCommand::Create { spec, idempotent, reply })? {
+            ShardReply::Created { already } => Ok(CreateOutcome { shard, already }),
+            ShardReply::Err(e) => Err(e),
+            _ => Err("unexpected shard reply".into()),
+        }
+    }
+
+    /// Publish `count` ADUs of `text` on `group`'s page 0; returns the
+    /// last ADU's name.
+    pub fn send(&self, group: u32, text: &str, count: u32) -> Result<String, String> {
+        let shard = shard_of(group, self.shards());
+        let text = text.to_string();
+        match self.rpc(shard, |reply| ShardCommand::Send { group, text, count, reply })? {
+            ShardReply::Sent { last } => Ok(last),
+            ShardReply::Err(e) => Err(e),
+            _ => Err("unexpected shard reply".into()),
+        }
+    }
+
+    /// Gracefully drain one group: final session message, WAL flush,
+    /// detach.
+    pub fn drain(&self, group: u32) -> Result<DrainOutcome, String> {
+        let shard = shard_of(group, self.shards());
+        match self.rpc(shard, |reply| ShardCommand::Drain { group, reply })? {
+            ShardReply::Drained(out) => Ok(out),
+            ShardReply::Err(e) => Err(e),
+            _ => Err("unexpected shard reply".into()),
+        }
+    }
+
+    /// Drain every hosted group on every shard (the hub keeps running).
+    pub fn drain_all(&self) -> DrainOutcome {
+        let mut total = DrainOutcome::default();
+        for shard in 0..self.shards() {
+            if let Ok(ShardReply::Drained(one)) =
+                self.rpc(shard, |reply| ShardCommand::DrainAll { reply })
+            {
+                total.groups += one.groups;
+                total.data_sent += one.data_sent;
+                total.delivered += one.delivered;
+            }
+        }
+        total
+    }
+
+    /// Roll up per-group counters from every shard plus the hub-shared
+    /// frame accounting. Groups come back sorted by id.
+    pub fn stats(&self) -> HubStats {
+        let mut groups = Vec::new();
+        for shard in 0..self.shards() {
+            if let Ok(ShardReply::Stats(mut s)) =
+                self.rpc(shard, |reply| ShardCommand::Stats { reply })
+            {
+                groups.append(&mut s);
+            }
+        }
+        groups.sort_by_key(|g| g.group);
+        let c = &self.inner.counters;
+        if let Some(reg) = &self.inner.metrics {
+            reg.refresh(c);
+        }
+        HubStats {
+            groups,
+            frames_attempted: c.frames_attempted.load(Ordering::Relaxed),
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            send_errors: c.send_errors.load(Ordering::Relaxed),
+            rx_frames: c.rx_frames.load(Ordering::Relaxed),
+            rx_undecodable: c.rx_undecodable.load(Ordering::Relaxed),
+            rx_unjoined_group: c.rx_unjoined_group.load(Ordering::Relaxed),
+            inbound_overflow: c.inbound_overflow.load(Ordering::Relaxed),
+            demux_splits: c.demux_splits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the hub: drain every group, stop the demux thread, join all
+    /// threads. Idempotent; later calls (and other clones) are no-ops.
+    pub fn shutdown(&self) {
+        if self.inner.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.stop.store(true, Ordering::SeqCst);
+        for tx in &self.inner.shard_tx {
+            let _ = tx.send(ShardEvent::Shutdown);
+        }
+        let mut threads = self.inner.threads.lock().unwrap_or_else(|e| e.into_inner());
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HubInner {
+    fn drop(&mut self) {
+        // Last handle gone without an explicit shutdown: stop the threads
+        // rather than leaking them, but don't block on joins in drop.
+        self.stop.store(true, Ordering::SeqCst);
+        for tx in &self.shard_tx {
+            let _ = tx.try_send(ShardEvent::Shutdown);
+        }
+    }
+}
+
+/// The supervised demux loop: drain a batch from the shared socket,
+/// precheck each buffer's leading frame(s) for the routing group id, and
+/// move the pooled buffer — zero-copy — down the owning shard's channel.
+/// Poll timeouts are heartbeats (checking the stop flag); everything else
+/// goes through the classify/backoff/respawn state machine.
+#[allow(clippy::too_many_arguments)]
+fn run_demux_supervised(
+    policy: &SupervisePolicy,
+    master: UdpSocket,
+    local: SocketAddr,
+    batch: BatchOptions,
+    clock: WallClock,
+    shard_tx: Vec<mpsc::SyncSender<ShardEvent>>,
+    counters: Arc<HubCounters>,
+    stop: Arc<AtomicBool>,
+) {
+    let pool = BufferPool::new(batch.pool_slabs, crate::runtime::MAX_DATAGRAM);
+    if batch.batch_sched {
+        crate::batch::enter_batch_scheduling();
+    }
+    let reason = run_supervised(
+        policy,
+        |attempt| {
+            let sock = if attempt == 0 {
+                master.try_clone()?
+            } else {
+                // Respawn: prefer a clone of the original descriptor, fall
+                // back to a fresh bind of the same address.
+                master.try_clone().or_else(|_| UdpSocket::bind(local))?
+            };
+            sock.set_read_timeout(Some(RECV_POLL))?;
+            let mut backend = make_backend(sock, &batch);
+            let shard_tx = shard_tx.clone();
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            let clock = clock.clone();
+            let pool = pool.clone();
+            let mut bufs: Vec<RecvFrame> = Vec::new();
+            Ok(move || -> io::Result<StepOutcome> {
+                if stop.load(Ordering::Relaxed) {
+                    return Ok(StepOutcome::Stop);
+                }
+                bufs.clear();
+                match backend.recv_batch(&pool, batch.recv_batch, &mut bufs) {
+                    Ok(_) => {}
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        // Heartbeat: nothing arrived within the poll
+                        // window; loop to re-check the stop flag.
+                        return Ok(StepOutcome::Continue);
+                    }
+                    Err(e) => return Err(e),
+                }
+                let at = clock.now();
+                for f in bufs.drain(..) {
+                    route_frame(at, f, &shard_tx, &counters);
+                }
+                Ok(StepOutcome::Continue)
+            })
+        },
+        |_event| {},
+        |backoff| {
+            // Interruptible backoff, keeping shutdown latency bounded.
+            let mut left = backoff;
+            while !stop.load(Ordering::Relaxed) && left > Duration::ZERO {
+                let chunk = left.min(RECV_POLL);
+                thread::sleep(chunk);
+                left = left.saturating_sub(chunk);
+            }
+        },
+    );
+    if matches!(reason, ExitReason::Exhausted { .. }) {
+        eprintln!("srm-hub: demux thread died: {}", reason.label());
+    }
+}
+
+/// Route one received buffer. Fast path: every segment prechecks to the
+/// same shard (always true for plain datagrams), so the whole pooled
+/// buffer moves zero-copy. Slow path: a GRO buffer straddling shards is
+/// split per segment (counted in `demux_splits`).
+fn route_frame(
+    at: netsim::SimTime,
+    f: RecvFrame,
+    shard_tx: &[mpsc::SyncSender<ShardEvent>],
+    counters: &HubCounters,
+) {
+    let shards = shard_tx.len();
+    let data: &[u8] = &f.buf;
+    let stride = match f.seg_size as usize {
+        0 => data.len().max(1),
+        s => s,
+    };
+
+    // First pass over the segment prefixes only: where does each go?
+    let mut target: Option<usize> = None;
+    let mut uniform = true;
+    let mut any_ok = false;
+    let mut off = 0;
+    while off < data.len() {
+        let chunk = &data[off..(off + stride).min(data.len())];
+        off += stride;
+        match Envelope::precheck(chunk) {
+            Ok(group) => {
+                any_ok = true;
+                let s = shard_of(group, shards);
+                match target {
+                    None => target = Some(s),
+                    Some(t) if t == s => {}
+                    Some(_) => uniform = false,
+                }
+            }
+            Err(_) => {
+                // A bad segment inside an otherwise-routable buffer still
+                // forces the split path so the good segments survive and
+                // the bad one is counted exactly once, here.
+                if f.seg_size != 0 && data.len() > stride {
+                    uniform = false;
+                } else {
+                    counters.rx_undecodable.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    if !any_ok {
+        // Multi-segment buffer where nothing prechecks: count each
+        // segment and drop the lot.
+        let n = data.len().div_ceil(stride).max(1) as u64;
+        counters.rx_undecodable.fetch_add(n, Ordering::Relaxed);
+        return;
+    }
+
+    if uniform {
+        let shard = target.unwrap_or(0);
+        let frames = f.frame_count() as u64;
+        match shard_tx[shard].try_send(ShardEvent::Datagram(at, f.seg_size, f.buf)) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                // Shed, count, keep draining the socket: SRM repairs the
+                // gap exactly as it would wire loss. A shed coalesced
+                // buffer loses every frame it carried.
+                counters.inbound_overflow.fetch_add(frames, Ordering::Relaxed);
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {}
+        }
+        return;
+    }
+
+    // Split path: per-segment copies, one datagram event each.
+    counters.demux_splits.fetch_add(1, Ordering::Relaxed);
+    let mut off = 0;
+    while off < data.len() {
+        let chunk = &data[off..(off + stride).min(data.len())];
+        off += stride;
+        match Envelope::precheck(chunk) {
+            Ok(group) => {
+                let shard = shard_of(group, shards);
+                match shard_tx[shard].try_send(ShardEvent::Datagram(
+                    at,
+                    0,
+                    PoolBuf::copied_from(chunk),
+                )) {
+                    Ok(()) | Err(mpsc::TrySendError::Disconnected(_)) => {}
+                    Err(mpsc::TrySendError::Full(_)) => {
+                        counters.inbound_overflow.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                counters.rx_undecodable.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::group_seed;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in 1..=8usize {
+            for g in 0..1000u32 {
+                let s = shard_of(g, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(g, shards), "must be deterministic");
+            }
+        }
+        // Degenerate count never panics.
+        assert_eq!(shard_of(42, 0), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_small_consecutive_ids() {
+        // Sessions use small ids; the mix must not send them all to one
+        // shard. Expect every shard of 4 to see at least one of 1..=16.
+        let mut seen = [false; 4];
+        for g in 1..=16u32 {
+            seen[shard_of(g, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "ids 1..=16 must hit all 4 shards: {seen:?}");
+    }
+
+    #[test]
+    fn group_seeds_differ_across_groups_and_hub_seeds() {
+        assert_ne!(group_seed(1, 1), group_seed(1, 2));
+        assert_ne!(group_seed(1, 1), group_seed(2, 1));
+        assert_eq!(group_seed(7, 9), group_seed(7, 9));
+    }
+
+    #[test]
+    fn hub_hosts_sends_and_drains_a_sole_member_group() {
+        let hub = Hub::spawn("127.0.0.1:0".parse().unwrap(), HubOptions::default()).unwrap();
+        let spec = GroupSpec {
+            group: 5,
+            peers: vec![],
+            id: 1,
+            members: 1,
+            rate: None,
+            burst: None,
+            dist_ms: None,
+        };
+        let out = hub.create(spec.clone(), false).unwrap();
+        assert_eq!(out.shard, shard_of(5, hub.shards()));
+        // Duplicate create errors; duplicate join reports `already`.
+        assert!(hub.create(spec.clone(), false).is_err());
+        assert!(hub.create(spec, true).unwrap().already);
+
+        let last = hub.send(5, "hello", 3).unwrap();
+        assert!(last.contains("s1"), "ADU name names the source: {last}");
+        assert!(hub.send(99, "x", 1).is_err(), "unhosted group refuses sends");
+
+        let st = hub.stats();
+        assert_eq!(st.groups.len(), 1);
+        assert_eq!(st.groups[0].group, 5);
+        assert_eq!(st.groups[0].data_sent, 3);
+
+        let d = hub.drain(5).unwrap();
+        assert_eq!(d.groups, 1);
+        assert_eq!(d.data_sent, 3);
+        assert!(hub.drain(5).is_err(), "already drained");
+        hub.shutdown();
+        hub.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn quota_refusals_keep_the_accounting_invariant() {
+        // A tiny bucket admits the first (oversize-with-debt) frame and
+        // refuses the rest; attempted == sent + errors must still hold.
+        let hub = Hub::spawn("127.0.0.1:0".parse().unwrap(), HubOptions::default()).unwrap();
+        let peer: SocketAddr = "127.0.0.1:9".parse().unwrap(); // discard port
+        let spec = GroupSpec {
+            group: 3,
+            peers: vec![peer],
+            id: 1,
+            members: 2,
+            rate: Some(1.0),
+            burst: Some(1.0),
+            dist_ms: None,
+        };
+        hub.create(spec, false).unwrap();
+        hub.send(3, "flood", 50).unwrap();
+        let st = hub.stats();
+        let g = &st.groups[0];
+        assert!(g.quota_overflow > 0, "bucket must refuse most of the flood: {g:?}");
+        assert!(g.tx_frames < 50 + g.session_sent, "refused frames never fan out");
+        assert_eq!(
+            st.frames_attempted,
+            st.frames_sent + st.send_errors,
+            "hub invariant: {st:?}"
+        );
+        hub.shutdown();
+    }
+}

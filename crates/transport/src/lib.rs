@@ -50,11 +50,14 @@
 pub mod batch;
 pub mod chaos;
 pub mod clock;
+pub mod control;
 pub mod envelope;
 pub mod harness;
+pub mod hub;
 pub mod monitor;
 pub mod pool;
 pub mod runtime;
+pub mod shard;
 pub mod soak;
 pub mod supervise;
 pub mod wheel;
@@ -65,11 +68,14 @@ pub use batch::{
 };
 pub use chaos::{parse_spec, ChaosPlan, ChaosState, ChaosTally, ChaosTransport, DelayQueue};
 pub use clock::WallClock;
+pub use control::{handle_line, parse_command, Command, GroupSpec};
 pub use envelope::{Envelope, EnvelopeError, EnvelopeView};
 pub use harness::{harvest_summary, harvest_timeline, Harness};
+pub use hub::{shard_of, CreateOutcome, Hub, HubHandle, HubOptions, HubStats};
 pub use monitor::{GroupMonitor, MemberHealth};
 pub use pool::{BufferPool, PoolBuf};
 pub use runtime::{LossPolicy, Mode, Node, NodeHandle, NodeOptions, StoreOptions, TransportStats};
+pub use shard::{group_seed, DrainOutcome, GroupStats};
 pub use soak::{SoakOptions, SoakReport};
 pub use supervise::{
     classify, run_supervised, ErrorClass, ExitReason, StepOutcome, SupervisePolicy,

@@ -326,6 +326,7 @@ struct RegHandles {
     blackholed: obs::Counter,
     send_errors: obs::Counter,
     decode_errors: obs::Counter,
+    rx_unjoined: obs::Counter,
     chaos_dropped: obs::Counter,
     chaos_duplicated: obs::Counter,
     chaos_delayed: obs::Counter,
@@ -378,6 +379,7 @@ impl RegHandles {
             blackholed: reg.counter("frames.blackholed"),
             send_errors: reg.counter("frames.send_errors"),
             decode_errors: reg.counter("rx.decode_errors"),
+            rx_unjoined: reg.counter("rx.unjoined_group"),
             chaos_dropped: reg.counter("chaos.dropped"),
             chaos_duplicated: reg.counter("chaos.duplicated"),
             chaos_delayed: reg.counter("chaos.delayed"),
@@ -452,6 +454,7 @@ struct Counters {
     recv_deaths: AtomicU64,
     mode_fallbacks: AtomicU64,
     inbound_overflow: AtomicU64,
+    rx_unjoined_group: AtomicU64,
     max_wheel_len: AtomicU64,
     max_delayq_len: AtomicU64,
 }
@@ -498,6 +501,12 @@ pub struct TransportStats {
     /// full (backpressure under flood; SRM's recovery machinery repairs
     /// the gaps, exactly as for wire loss).
     pub inbound_overflow: u64,
+    /// Well-formed frames addressed to a group this node never joined,
+    /// dropped by the cheap filter before any payload copy. A nonzero
+    /// count usually means a peer (or hub) is misconfigured — sending
+    /// here with the wrong `--group`, or a hub group that was never
+    /// `create`d on this side.
+    pub rx_unjoined_group: u64,
     /// High-water mark of the timer wheel (including lazy-cancelled slots).
     pub max_wheel_len: u64,
     /// High-water mark of the chaos delay queue.
@@ -523,6 +532,7 @@ impl TransportStats {
             recv_deaths: c.recv_deaths.load(Ordering::Relaxed),
             mode_fallbacks: c.mode_fallbacks.load(Ordering::Relaxed),
             inbound_overflow: c.inbound_overflow.load(Ordering::Relaxed),
+            rx_unjoined_group: c.rx_unjoined_group.load(Ordering::Relaxed),
             max_wheel_len: c.max_wheel_len.load(Ordering::Relaxed),
             max_delayq_len: c.max_delayq_len.load(Ordering::Relaxed),
         }
@@ -1212,6 +1222,7 @@ fn run_reactor(
 
     let mut rx_seq = 0u64;
     let mut decode_fail_count = 0u64;
+    let mut unjoined_count = 0u64;
     let inbound_drain = opts.batch.inbound_drain.max(1);
 
     // Handle one channel event; evaluates to `true` on shutdown. A macro
@@ -1283,10 +1294,24 @@ fn run_reactor(
                         // traffic for groups we have not joined are the
                         // network's job to withhold in the simulator;
                         // filter them here — before the payload copy.
-                        if env.src == out.src
-                            || !joined.contains(&GroupId(env.group))
-                            || env.ttl == 0
-                        {
+                        if env.src == out.src || env.ttl == 0 {
+                            break 'frame;
+                        }
+                        if !joined.contains(&GroupId(env.group)) {
+                            // Not silent: a well-formed frame for a group
+                            // this node never joined almost always means a
+                            // misconfigured peer or a hub group that was
+                            // never created — count it and sample a log
+                            // line so the mismatch is visible.
+                            counters.rx_unjoined_group.fetch_add(1, Ordering::Relaxed);
+                            unjoined_count += 1;
+                            if unjoined_count <= 5 || unjoined_count.is_multiple_of(1024) {
+                                eprintln!(
+                                    "srm-node[{}]: dropping frame from {} for unjoined group {} ({} total) — \
+                                     sender misconfigured, or group not created here",
+                                    out.src, env.src, env.group, unjoined_count
+                                );
+                            }
                             break 'frame;
                         }
                         counters.frames_received.fetch_add(1, Ordering::Relaxed);
@@ -1447,6 +1472,7 @@ fn publish_reactor_counters(
     m.blackholed.set_total(counters.blackholed.load(Ordering::Relaxed));
     m.send_errors.set_total(counters.send_errors.load(Ordering::Relaxed));
     m.decode_errors.set_total(counters.decode_errors.load(Ordering::Relaxed));
+    m.rx_unjoined.set_total(counters.rx_unjoined_group.load(Ordering::Relaxed));
     m.chaos_dropped.set_total(tally.dropped);
     m.chaos_duplicated.set_total(tally.duplicated);
     m.chaos_delayed.set_total(tally.delayed);

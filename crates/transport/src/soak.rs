@@ -61,6 +61,11 @@ pub struct SoakOptions {
     pub liveness: LivenessConfig,
     /// Capture obs timelines (recovery + transport events).
     pub trace: bool,
+    /// The multicast group the mesh runs on. Soaks were hard-wired to
+    /// group 1 before the hub existed; a hub shard hosting group `g` is
+    /// soaked by setting this to `g` (and optionally scoping the chaos
+    /// spec with `group=g`), with identical replay-from-seed semantics.
+    pub group: u32,
 }
 
 impl Default for SoakOptions {
@@ -74,6 +79,7 @@ impl Default for SoakOptions {
             settle: Duration::from_secs(30),
             liveness: LivenessConfig::default(),
             trace: false,
+            group: 1,
         }
     }
 }
@@ -230,7 +236,7 @@ pub fn run(opts: &SoakOptions) -> io::Result<SoakReport> {
     let cfg = SrmConfig::fixed(n);
     let spec = opts.chaos.clone();
     let (seed, liveness, trace) = (opts.seed, opts.liveness, opts.trace);
-    let h = Harness::loopback(n, GroupId(1), &cfg, |i, addrs, o| {
+    let h = Harness::loopback(n, GroupId(opts.group), &cfg, |i, addrs, o| {
         o.seed = seed.wrapping_add(i as u64 * 7919);
         o.trace = trace;
         o.liveness = Some(liveness);

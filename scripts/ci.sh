@@ -105,6 +105,48 @@ cargo build --release -p srm-bench --bin live
 echo "== live-path regression gate (best-of-5 re-measure vs committed BENCH_9.json) =="
 ./target/release/live check --against BENCH_9.json --tolerance 1.25
 
+echo "== srm-hub smoke (4 groups via control TCP, delivery + clean drain) =="
+cargo build --release -p srm-transport --bin srm-hub
+# One hub process hosts four groups; each group has a standalone srm-node
+# receiver that prints whatever it delivers. The whole drive — create,
+# publish, drain, stop — goes through the line-JSON control TCP port.
+timeout 60 ./target/release/srm-hub --bind 127.0.0.1:7641 \
+    --control 127.0.0.1:7642 --shards 2 --quiet &
+HUB_PID=$!
+HUBRX_PIDS=()
+for g in 1 2 3 4; do
+    timeout 60 ./target/release/srm-node join --id 2 --bind 127.0.0.1:$((7650+g)) \
+        --peers 127.0.0.1:7641 --group "$g" --members 2 --duration 12 \
+        > "target/ci_hub_g$g.out" &
+    HUBRX_PIDS+=($!)
+done
+sleep 1
+exec 9<>/dev/tcp/127.0.0.1/7642
+for g in 1 2 3 4; do
+    printf '{"cmd":"create","group":%d,"peers":["127.0.0.1:%d"],"members":2}\n' \
+        "$g" $((7650+g)) >&9
+done
+for g in 1 2 3 4; do
+    printf '{"cmd":"send","group":%d,"text":"hub-smoke-g%d","count":3}\n' "$g" "$g" >&9
+done
+sleep 3
+for g in 1 2 3 4; do printf '{"cmd":"drain","group":%d}\n' "$g" >&9; done
+printf '{"cmd":"stop"}\n' >&9
+timeout 30 cat <&9 > target/ci_hub_ctrl.out || true
+exec 9<&- 9>&-
+wait $HUB_PID
+wait "${HUBRX_PIDS[@]}"
+for g in 1 2 3 4; do
+    grep -q "hub-smoke-g$g" "target/ci_hub_g$g.out" \
+        || { echo "srm-hub smoke: group $g receiver never delivered its ADUs" >&2; exit 1; }
+done
+[ "$(grep -c '"ok":true,"cmd":"create"' target/ci_hub_ctrl.out)" -eq 4 ] \
+    || { echo "srm-hub smoke: control plane did not ack 4 creates" >&2; exit 1; }
+[ "$(grep -c '"ok":true,"cmd":"drain"' target/ci_hub_ctrl.out)" -eq 4 ] \
+    || { echo "srm-hub smoke: control plane did not ack 4 clean drains" >&2; exit 1; }
+grep -q '"ok":true,"cmd":"stop"' target/ci_hub_ctrl.out \
+    || { echo "srm-hub smoke: hub never acked stop" >&2; exit 1; }
+
 echo "== clippy (workspace, warnings are errors) =="
 cargo clippy --workspace -- -D warnings
 
